@@ -1,0 +1,133 @@
+// Command circuitc is the circuit compiler CLI: it parses a conjunctive
+// query, takes uniform cardinality constraints, and prints the compiled
+// circuits' statistics — the polymatroid bound, the PANDA-C relational
+// circuit (optionally its full gate list), and the oblivious word-level
+// circuit.
+//
+// Usage:
+//
+//	circuitc -query 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)' -n 64 [-gates] [-no-oblivious]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"circuitql"
+	"circuitql/internal/core"
+	"circuitql/internal/panda"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("circuitc: ")
+	var (
+		src       = flag.String("query", "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", "conjunctive query (datalog style)")
+		n         = flag.Float64("n", 64, "uniform cardinality bound per relation")
+		gates     = flag.Bool("gates", false, "print the relational gate list")
+		noObliv   = flag.Bool("no-oblivious", false, "skip the oblivious lowering (fast)")
+		widthsToo = flag.Bool("widths", false, "also print fhtw / da-fhtw / da-subw")
+		dcSrc     = flag.String("dc", "", "extra degree constraints, e.g. 'S|B <= 4; R|A <= 1'")
+		dotPath   = flag.String("dot", "", "write the relational circuit as Graphviz DOT to this file")
+		savePath  = flag.String("save", "", "write the oblivious circuit artifact to this file")
+	)
+	flag.Parse()
+
+	q, err := circuitql.ParseQuery(*src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dcs := circuitql.UniformCardinalities(q, *n)
+	if *dcSrc != "" {
+		extra, err := circuitql.ParseConstraints(q, *dcSrc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dcs = append(dcs, extra...)
+	}
+
+	b, err := circuitql.PolymatroidBound(q, dcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bf, _ := b.Float64()
+	fmt.Printf("query:            %s\n", q)
+	fmt.Printf("constraints:      |R_F| ≤ %g for every atom\n", *n)
+	fmt.Printf("LOGDAPB:          %s bits (DAPB ≈ %.4g tuples)\n", b.RatString(), exp2(bf))
+
+	res, err := panda.CompileFCQ(q, dcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proof sequence:   %s\n", res.Seq.Label(q.VarNames))
+	fmt.Printf("relational:       %d gates, depth %d, cost %.6g, %d truncation restarts\n",
+		res.Circuit.Size(), res.Circuit.Depth(), res.Circuit.Cost(), res.Restarts)
+
+	if *gates {
+		fmt.Println("\nrelational gate list:")
+		fmt.Println(res.Circuit.String())
+	}
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Circuit.WriteDot(f, "circuit"); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote DOT:        %s\n", *dotPath)
+	}
+
+	if !*noObliv {
+		obl, err := core.CompileOblivious(res.Circuit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := obl.C.StatsOf()
+		fmt.Printf("oblivious:        %d word gates, depth %d, %d input wires\n",
+			st.Gates, st.Depth, st.Inputs)
+		bc := obl.C.BitCostAt(64)
+		fmt.Printf("secure cost:      %d bit gates, %d non-linear, %.1f MiB garbled (κ=128)\n",
+			bc.Total, bc.NonLinear, float64(bc.GarbledBytes(128))/(1<<20))
+		fmt.Printf("Brent steps:      P=1: %d   P=64: %d   P=∞: %d\n",
+			core.BrentSchedule(obl.C, 1), core.BrentSchedule(obl.C, 64), obl.C.Depth())
+		if *savePath != "" {
+			f, err := os.Create(*savePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			nBytes, err := obl.WriteTo(f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote artifact:   %s (%d bytes)\n", *savePath, nBytes)
+		}
+	}
+
+	if *widthsToo {
+		w, err := circuitql.ComputeWidths(q, dcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("widths:           fhtw=%s  da-fhtw=%s bits  da-subw=%s bits\n",
+			w.Fhtw.RatString(), w.DAFhtw.RatString(), w.DASubw.RatString())
+	}
+}
+
+func exp2(bits float64) float64 {
+	v := 1.0
+	for bits >= 1 {
+		v *= 2
+		bits--
+	}
+	return v * (1 + bits)
+}

@@ -1,0 +1,117 @@
+// Command circuitrun compiles a query and evaluates its circuits on
+// generated data, verifying the oblivious result against the reference
+// RAM evaluation.
+//
+// Usage:
+//
+//	circuitrun -query 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)' -n 16 -seed 1 [-workload uniform|skewed|worstcase]
+//
+// Relations are generated per distinct atom name with n tuples each; for
+// the triangle query the -workload flag selects the data shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"circuitql"
+	"circuitql/internal/query"
+	"circuitql/internal/relation"
+	"circuitql/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("circuitrun: ")
+	var (
+		src  = flag.String("query", "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", "conjunctive query")
+		n    = flag.Int("n", 16, "tuples per relation")
+		seed = flag.Int64("seed", 1, "generator seed")
+		kind = flag.String("workload", "uniform", "uniform | skewed | worstcase (triangle only)")
+		obl  = flag.Bool("oblivious", true, "evaluate the oblivious circuit (false: relational only)")
+		dir  = flag.String("data", "", "directory of <RelationName>.csv files (overrides -workload)")
+	)
+	flag.Parse()
+
+	q, err := circuitql.ParseQuery(*src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var db circuitql.Database
+	if *dir != "" {
+		db = circuitql.Database{}
+		for _, a := range q.Atoms {
+			if _, ok := db[a.Name]; ok {
+				continue
+			}
+			f, err := os.Open(filepath.Join(*dir, a.Name+".csv"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			rel, err := relation.ReadCSV(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("%s: %v", a.Name, err)
+			}
+			db[a.Name] = rel
+		}
+	} else if q.String() == query.Triangle().String() {
+		k := map[string]workload.TriangleKind{
+			"uniform": workload.TriangleUniform, "skewed": workload.TriangleSkewed,
+			"worstcase": workload.TriangleWorstCase,
+		}[*kind]
+		db = workload.TriangleDB(k, *seed, *n)
+	} else {
+		db = workload.ForQuery(q, *seed, *n)
+	}
+
+	dcs, err := circuitql.DeriveConstraints(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\n", q)
+	for name, r := range db {
+		fmt.Printf("  %s: %d tuples\n", name, r.Len())
+	}
+
+	start := time.Now()
+	cq, err := circuitql.Compile(q, dcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := cq.Stats()
+	fmt.Printf("compiled in %v: relational %d gates (cost %.6g), oblivious %d gates depth %d\n",
+		time.Since(start), st.RelationalGates, st.Cost, st.Gates, st.Depth)
+
+	want, err := circuitql.EvaluateRAM(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start = time.Now()
+	rel, err := cq.EvaluateRelational(db, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("relational circuit: %d tuples in %v (bound-checked)\n", rel.Len(), time.Since(start))
+	if !rel.Equal(want) {
+		log.Fatal("relational circuit result DIFFERS from reference")
+	}
+
+	if *obl {
+		start = time.Now()
+		out, err := cq.Evaluate(db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("oblivious circuit:  %d tuples in %v\n", out.Len(), time.Since(start))
+		if !out.Equal(want) {
+			log.Fatal("oblivious circuit result DIFFERS from reference")
+		}
+	}
+	fmt.Printf("verified against reference evaluation ✓ (|Q(D)| = %d)\n", want.Len())
+}

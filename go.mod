@@ -1,0 +1,3 @@
+module circuitql
+
+go 1.22

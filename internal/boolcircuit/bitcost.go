@@ -1,0 +1,90 @@
+package boolcircuit
+
+// Bit-level cost accounting. The paper (§4.1) works up to polylog
+// factors and treats word gates and bit gates interchangeably; the
+// deployments of Section 1 do not. This file estimates, for a chosen
+// word width w:
+//
+//   - the total number of bit-level gates (hardware area), and
+//   - the number of *non-linear* gates (AND/OR-equivalent), which is the
+//     quantity that prices secure computation: with free-XOR garbling
+//     only non-linear gates cost communication (two ciphertexts per AND
+//     under half-gates), and XOR gates are free.
+//
+// The per-operation estimates use textbook combinational constructions:
+// ripple-carry adders, array multipliers, restoring dividers, borrow
+// chains, and one AND+XOR pair per multiplexed bit. They are estimates
+// — a synthesis tool would do better — but they are consistent across
+// circuits, which is what the comparisons need.
+
+// BitCost aggregates bit-level size estimates.
+type BitCost struct {
+	Total     int64 // all bit gates
+	NonLinear int64 // AND/OR-equivalent gates (non-free under free-XOR)
+}
+
+// Add accumulates another cost.
+func (b *BitCost) Add(o BitCost) {
+	b.Total += o.Total
+	b.NonLinear += o.NonLinear
+}
+
+// opBitCost returns the bit-gate estimate of one word operation at width
+// w bits.
+func opBitCost(op Op, w int64) BitCost {
+	switch op {
+	case OpInput, OpConst:
+		return BitCost{}
+	case OpAdd, OpSub:
+		// Full adder per bit: 2 XOR + 2 AND + 1 OR.
+		return BitCost{Total: 5 * w, NonLinear: 2 * w}
+	case OpMul:
+		// Array multiplier: w² partial-product ANDs + (w-1) adders.
+		return BitCost{Total: w*w + (w-1)*5*w, NonLinear: w*w + (w-1)*2*w}
+	case OpMod:
+		// Restoring division: w iterations of subtract + mux.
+		return BitCost{Total: w * (5*w + 2*w), NonLinear: w * (2*w + w)}
+	case OpAnd, OpOr:
+		return BitCost{Total: w, NonLinear: w}
+	case OpXor:
+		return BitCost{Total: w}
+	case OpNot:
+		return BitCost{Total: w} // inverters; free in garbled circuits
+	case OpEq:
+		// w XNORs + an AND tree of w-1 gates.
+		return BitCost{Total: 2*w - 1, NonLinear: w - 1}
+	case OpLt:
+		// Borrow chain: ~3 gates per bit, 1 non-linear.
+		return BitCost{Total: 3 * w, NonLinear: w}
+	case OpMux:
+		// Per bit: out = b ⊕ sel·(a ⊕ b): 1 AND + 2 XOR.
+		return BitCost{Total: 3 * w, NonLinear: w}
+	}
+	return BitCost{}
+}
+
+// BitCostAt estimates the whole circuit's bit-level cost at word width
+// wordBits (the paper's log u; 64 covers the full int64 domain, smaller
+// widths model bounded domains).
+func (c *Circuit) BitCostAt(wordBits int) BitCost {
+	w := int64(wordBits)
+	if w < 1 {
+		w = 1
+	}
+	var total BitCost
+	for _, g := range c.gates {
+		total.Add(opBitCost(g.Op, w))
+	}
+	return total
+}
+
+// GarbledBytes prices the circuit under half-gates garbling with
+// security parameter kappaBits (128 is standard): two ciphertexts of
+// kappa bits per non-linear gate, XOR free.
+func (b BitCost) GarbledBytes(kappaBits int) int64 {
+	return b.NonLinear * 2 * int64(kappaBits) / 8
+}
+
+// GMWTriples returns the number of Beaver multiplication triples a
+// GMW-style protocol consumes: one per non-linear gate.
+func (b BitCost) GMWTriples() int64 { return b.NonLinear }

@@ -1,0 +1,72 @@
+package boolcircuit
+
+import "testing"
+
+func TestBitCostPerOp(t *testing.T) {
+	// XOR-only circuits are free under free-XOR garbling.
+	c := New()
+	a, b := c.Input(), c.Input()
+	c.MarkOutput(c.Xor(c.Xor(a, b), a))
+	bc := c.BitCostAt(64)
+	if bc.NonLinear != 0 {
+		t.Fatalf("xor circuit has %d non-linear gates", bc.NonLinear)
+	}
+	if bc.GarbledBytes(128) != 0 {
+		t.Fatal("xor circuit should garble for free")
+	}
+	if bc.Total == 0 {
+		t.Fatal("xor circuit still has bit gates")
+	}
+}
+
+func TestBitCostScalesWithWidth(t *testing.T) {
+	c := New()
+	a, b := c.Input(), c.Input()
+	c.MarkOutput(c.Mul(a, b))
+	w8, w64 := c.BitCostAt(8), c.BitCostAt(64)
+	if w64.Total <= w8.Total || w64.NonLinear <= w8.NonLinear {
+		t.Fatal("cost must grow with word width")
+	}
+	// Multiplication is quadratic in width: 8x width -> ~64x gates.
+	if ratio := float64(w64.NonLinear) / float64(w8.NonLinear); ratio < 30 || ratio > 100 {
+		t.Fatalf("mul nonlinear ratio = %f, want ≈ 64", ratio)
+	}
+}
+
+func TestBitCostMonotoneInGates(t *testing.T) {
+	c := New()
+	a, b := c.Input(), c.Input()
+	x := c.Add(a, b)
+	before := c.BitCostAt(64)
+	c.MarkOutput(c.And(x, a))
+	after := c.BitCostAt(64)
+	if after.Total <= before.Total || after.NonLinear <= before.NonLinear {
+		t.Fatal("adding gates must increase cost")
+	}
+}
+
+func TestGarbledAndGMWPricing(t *testing.T) {
+	c := New()
+	a, b := c.Input(), c.Input()
+	c.MarkOutput(c.And(a, b)) // w nonlinear gates at width w
+	bc := c.BitCostAt(64)
+	if bc.NonLinear != 64 {
+		t.Fatalf("nonlinear = %d, want 64", bc.NonLinear)
+	}
+	// Half-gates: 2 ciphertexts × 128 bits per AND = 32 bytes.
+	if got := bc.GarbledBytes(128); got != 64*32 {
+		t.Fatalf("garbled bytes = %d, want %d", got, 64*32)
+	}
+	if bc.GMWTriples() != 64 {
+		t.Fatalf("triples = %d", bc.GMWTriples())
+	}
+}
+
+func TestBitCostWidthFloor(t *testing.T) {
+	c := New()
+	a := c.Input()
+	c.MarkOutput(c.Not(a))
+	if got := c.BitCostAt(0); got.Total != 1 {
+		t.Fatalf("width floor: %+v", got)
+	}
+}

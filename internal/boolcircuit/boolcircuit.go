@@ -1,0 +1,335 @@
+// Package boolcircuit implements the word-level oblivious circuits of
+// Section 4.1. The paper explicitly declines to distinguish Boolean from
+// arithmetic circuits (each wire may carry an O(log u)-bit value and each
+// gate any standard operation, since only polylog factors separate the
+// models); accordingly, a gate here operates on 64-bit words and counts
+// as one unit of size, and circuit depth is the longest input-to-output
+// path in gates.
+//
+// Circuits are built once from the query and the degree constraints —
+// never from data — and then evaluated on any conforming instance. The
+// builder performs structural hashing (identical gates are shared), which
+// only shrinks size and depth.
+package boolcircuit
+
+import (
+	"fmt"
+)
+
+// Op enumerates gate operations.
+type Op uint8
+
+// Gate operations. Comparisons yield 0 or 1. Bitwise operations act on
+// the full word; booleans are represented as 0/1 words. OpMod matches
+// package expr: non-negative result, x mod 0 = 0.
+const (
+	OpInput Op = iota
+	OpConst
+	OpAdd
+	OpSub
+	OpMul
+	OpMod
+	OpAnd
+	OpOr
+	OpXor
+	OpNot // bitwise complement
+	OpEq
+	OpLt  // signed less-than
+	OpMux // C != 0 ? A : B
+)
+
+var opNames = [...]string{
+	OpInput: "input", OpConst: "const", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpMod: "mod", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpNot: "not", OpEq: "eq", OpLt: "lt", OpMux: "mux",
+}
+
+// String returns the operation name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Gate is one circuit node; A, B, C are operand gate ids (unused
+// operands are -1), K is the constant for OpConst.
+type Gate struct {
+	Op      Op
+	A, B, C int32
+	K       int64
+}
+
+// Circuit is a gate DAG under construction and the evaluable artifact.
+// Inputs are allocated with Input and fed positionally to Evaluate.
+type Circuit struct {
+	gates   []Gate
+	depth   []int32
+	inputs  []int // gate ids of inputs in allocation order
+	outputs []int
+	hash    map[Gate]int
+	maxDep  int32
+
+	levelCache  [][]int32 // lazily built depth buckets for parallel evaluation
+	levelCacheN int
+}
+
+// New returns an empty circuit.
+func New() *Circuit {
+	return &Circuit{hash: make(map[Gate]int)}
+}
+
+// NumInputs returns the number of input wires allocated.
+func (c *Circuit) NumInputs() int { return len(c.inputs) }
+
+// Size returns the total gate count including inputs and constants (the
+// paper's |V|).
+func (c *Circuit) Size() int { return len(c.gates) }
+
+// Depth returns the longest input-to-output path length in gates.
+func (c *Circuit) Depth() int { return int(c.maxDep) }
+
+// Outputs returns the marked output gate ids.
+func (c *Circuit) Outputs() []int { return append([]int(nil), c.outputs...) }
+
+// GateAt returns gate id (for inspection and lowering passes).
+func (c *Circuit) GateAt(id int) Gate { return c.gates[id] }
+
+// MarkOutput designates wire w as a circuit output.
+func (c *Circuit) MarkOutput(w int) {
+	if w < 0 || w >= len(c.gates) {
+		panic("boolcircuit: invalid output wire")
+	}
+	c.outputs = append(c.outputs, w)
+}
+
+func (c *Circuit) push(g Gate) int {
+	if g.Op != OpInput {
+		if id, ok := c.hash[g]; ok {
+			return id
+		}
+	}
+	id := len(c.gates)
+	c.gates = append(c.gates, g)
+	var d int32
+	for _, op := range [3]int32{g.A, g.B, g.C} {
+		if op >= 0 && c.depth[op] > d {
+			d = c.depth[op]
+		}
+	}
+	if g.Op != OpInput && g.Op != OpConst {
+		d++
+	}
+	c.depth = append(c.depth, d)
+	if d > c.maxDep {
+		c.maxDep = d
+	}
+	if g.Op != OpInput {
+		c.hash[g] = id
+	}
+	return id
+}
+
+// Input allocates a new input wire.
+func (c *Circuit) Input() int {
+	id := c.push(Gate{Op: OpInput, A: -1, B: -1, C: -1})
+	c.inputs = append(c.inputs, id)
+	return id
+}
+
+// Inputs allocates n input wires.
+func (c *Circuit) Inputs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = c.Input()
+	}
+	return out
+}
+
+// Const returns a wire carrying constant v (shared).
+func (c *Circuit) Const(v int64) int {
+	return c.push(Gate{Op: OpConst, A: -1, B: -1, C: -1, K: v})
+}
+
+func (c *Circuit) bin(op Op, a, b int) int {
+	c.check(a)
+	c.check(b)
+	return c.push(Gate{Op: op, A: int32(a), B: int32(b), C: -1})
+}
+
+func (c *Circuit) check(w int) {
+	if w < 0 || w >= len(c.gates) {
+		panic(fmt.Sprintf("boolcircuit: invalid wire %d", w))
+	}
+}
+
+// Add returns a + b.
+func (c *Circuit) Add(a, b int) int { return c.bin(OpAdd, a, b) }
+
+// Sub returns a - b.
+func (c *Circuit) Sub(a, b int) int { return c.bin(OpSub, a, b) }
+
+// Mul returns a * b.
+func (c *Circuit) Mul(a, b int) int { return c.bin(OpMul, a, b) }
+
+// ModC returns a mod b (non-negative; mod 0 = 0).
+func (c *Circuit) ModC(a, b int) int { return c.bin(OpMod, a, b) }
+
+// And returns the bitwise AND.
+func (c *Circuit) And(a, b int) int { return c.bin(OpAnd, a, b) }
+
+// Or returns the bitwise OR.
+func (c *Circuit) Or(a, b int) int { return c.bin(OpOr, a, b) }
+
+// Xor returns the bitwise XOR.
+func (c *Circuit) Xor(a, b int) int { return c.bin(OpXor, a, b) }
+
+// Not returns the bitwise complement.
+func (c *Circuit) Not(a int) int {
+	c.check(a)
+	return c.push(Gate{Op: OpNot, A: int32(a), B: -1, C: -1})
+}
+
+// Eq returns a == b as 0/1.
+func (c *Circuit) Eq(a, b int) int { return c.bin(OpEq, a, b) }
+
+// Lt returns a < b (signed) as 0/1.
+func (c *Circuit) Lt(a, b int) int { return c.bin(OpLt, a, b) }
+
+// Le returns a <= b as 0/1.
+func (c *Circuit) Le(a, b int) int { return c.NotB(c.Lt(b, a)) }
+
+// Gt returns a > b as 0/1.
+func (c *Circuit) Gt(a, b int) int { return c.Lt(b, a) }
+
+// Ge returns a >= b as 0/1.
+func (c *Circuit) Ge(a, b int) int { return c.NotB(c.Lt(a, b)) }
+
+// Ne returns a != b as 0/1.
+func (c *Circuit) Ne(a, b int) int { return c.NotB(c.Eq(a, b)) }
+
+// NotB returns logical negation of a 0/1 wire.
+func (c *Circuit) NotB(a int) int { return c.Xor(a, c.Const(1)) }
+
+// Bool returns a != 0 as 0/1.
+func (c *Circuit) Bool(a int) int { return c.Ne(a, c.Const(0)) }
+
+// Mux returns cond != 0 ? a : b.
+func (c *Circuit) Mux(cond, a, b int) int {
+	c.check(cond)
+	c.check(a)
+	c.check(b)
+	return c.push(Gate{Op: OpMux, A: int32(a), B: int32(b), C: int32(cond)})
+}
+
+// Evaluate runs the circuit on the given input values (positional, one
+// per Input allocation) and returns the values of all marked outputs in
+// marking order. Evaluation order is the fixed gate order — the access
+// pattern is input independent by construction.
+func (c *Circuit) Evaluate(inputs []int64) ([]int64, error) {
+	if len(inputs) != len(c.inputs) {
+		return nil, fmt.Errorf("boolcircuit: got %d inputs, want %d", len(inputs), len(c.inputs))
+	}
+	vals := make([]int64, len(c.gates))
+	next := 0
+	for i, g := range c.gates {
+		switch g.Op {
+		case OpInput:
+			vals[i] = inputs[next]
+			next++
+		case OpConst:
+			vals[i] = g.K
+		case OpAdd:
+			vals[i] = vals[g.A] + vals[g.B]
+		case OpSub:
+			vals[i] = vals[g.A] - vals[g.B]
+		case OpMul:
+			vals[i] = vals[g.A] * vals[g.B]
+		case OpMod:
+			b := vals[g.B]
+			if b == 0 {
+				vals[i] = 0
+			} else {
+				m := vals[g.A] % b
+				if m < 0 {
+					if b < 0 {
+						m -= b
+					} else {
+						m += b
+					}
+				}
+				vals[i] = m
+			}
+		case OpAnd:
+			vals[i] = vals[g.A] & vals[g.B]
+		case OpOr:
+			vals[i] = vals[g.A] | vals[g.B]
+		case OpXor:
+			vals[i] = vals[g.A] ^ vals[g.B]
+		case OpNot:
+			vals[i] = ^vals[g.A]
+		case OpEq:
+			vals[i] = b2i(vals[g.A] == vals[g.B])
+		case OpLt:
+			vals[i] = b2i(vals[g.A] < vals[g.B])
+		case OpMux:
+			if vals[g.C] != 0 {
+				vals[i] = vals[g.A]
+			} else {
+				vals[i] = vals[g.B]
+			}
+		default:
+			return nil, fmt.Errorf("boolcircuit: unknown op %v", g.Op)
+		}
+	}
+	out := make([]int64, len(c.outputs))
+	for i, w := range c.outputs {
+		out[i] = vals[w]
+	}
+	return out, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Slot is a bundle of wires carrying one (possibly dummy) tuple: a 0/1
+// validity wire (the paper's dummy attribute Z) plus one wire per column.
+type Slot struct {
+	Valid int
+	Cols  []int
+}
+
+// CloneCols returns a copy of the slot with its column slice duplicated.
+func (s Slot) CloneCols() Slot {
+	return Slot{Valid: s.Valid, Cols: append([]int(nil), s.Cols...)}
+}
+
+// LevelSizes returns the number of computation gates (everything except
+// inputs and constants) at each depth level 1..Depth(). Brent's theorem
+// scheduling (package core) consumes this histogram.
+func (c *Circuit) LevelSizes() []int {
+	out := make([]int, c.maxDep)
+	for i, g := range c.gates {
+		if g.Op == OpInput || g.Op == OpConst {
+			continue
+		}
+		out[c.depth[i]-1]++
+	}
+	return out
+}
+
+// Stats summarizes a circuit for reporting.
+type Stats struct {
+	Gates  int
+	Depth  int
+	Inputs int
+}
+
+// StatsOf returns gate count, depth, and input count.
+func (c *Circuit) StatsOf() Stats {
+	return Stats{Gates: c.Size(), Depth: c.Depth(), Inputs: c.NumInputs()}
+}

@@ -1,0 +1,156 @@
+package boolcircuit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// EvaluateParallel evaluates the circuit on the given inputs using up to
+// workers goroutines, processing gates level by level — Brent's
+// schedule made concrete: all gates of one depth level are independent,
+// so each level is split across the workers and a barrier separates
+// levels. The result is identical to Evaluate.
+//
+// The realized speedup depends on the circuit's *shape*, not just W/P+D:
+// Brent's PRAM model charges nothing for synchronization, but here every
+// level is a barrier, so deep circuits with narrow levels (the compiled
+// query circuits at small N — thousands of levels of a few hundred gates)
+// are latency-bound and gain nothing, while wide, shallow circuits reach
+// near-linear speedup (see BenchmarkParallelWideCircuit). This gap
+// between the W/P+D bound and wall-clock behaviour is itself one of the
+// reproduction's observations.
+//
+// workers ≤ 0 selects GOMAXPROCS.
+func (c *Circuit) EvaluateParallel(inputs []int64, workers int) ([]int64, error) {
+	if len(inputs) != len(c.inputs) {
+		return nil, fmt.Errorf("boolcircuit: got %d inputs, want %d", len(inputs), len(c.inputs))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return c.Evaluate(inputs)
+	}
+
+	levels := c.levelBuckets()
+	vals := make([]int64, len(c.gates))
+	next := 0
+	for i, g := range c.gates {
+		switch g.Op {
+		case OpInput:
+			vals[i] = inputs[next]
+			next++
+		case OpConst:
+			vals[i] = g.K
+		}
+	}
+
+	var wg sync.WaitGroup
+	for d := int32(1); d <= c.maxDep; d++ {
+		level := levels[d]
+		if len(level) == 0 {
+			continue
+		}
+		chunk := (len(level) + workers - 1) / workers
+		if chunk < 2048 {
+			// Tiny levels: goroutine overhead dominates; run inline.
+			c.evalGates(vals, level)
+			continue
+		}
+		for start := 0; start < len(level); start += chunk {
+			end := start + chunk
+			if end > len(level) {
+				end = len(level)
+			}
+			wg.Add(1)
+			go func(ids []int32) {
+				defer wg.Done()
+				c.evalGates(vals, ids)
+			}(level[start:end])
+		}
+		wg.Wait()
+	}
+
+	out := make([]int64, len(c.outputs))
+	for i, w := range c.outputs {
+		out[i] = vals[w]
+	}
+	return out, nil
+}
+
+// levelBuckets groups computation-gate ids by depth, cached across
+// evaluations (rebuilt if the circuit grew since the last call).
+func (c *Circuit) levelBuckets() [][]int32 {
+	if c.levelCacheN == len(c.gates) && c.levelCache != nil {
+		return c.levelCache
+	}
+	counts := make([]int, c.maxDep+1)
+	for i, g := range c.gates {
+		if g.Op != OpInput && g.Op != OpConst {
+			counts[c.depth[i]]++
+		}
+	}
+	levels := make([][]int32, c.maxDep+1)
+	for d, n := range counts {
+		levels[d] = make([]int32, 0, n)
+	}
+	for i, g := range c.gates {
+		if g.Op != OpInput && g.Op != OpConst {
+			d := c.depth[i]
+			levels[d] = append(levels[d], int32(i))
+		}
+	}
+	c.levelCache = levels
+	c.levelCacheN = len(c.gates)
+	return levels
+}
+
+// evalGates computes the listed gates; their operands must already be
+// available in vals.
+func (c *Circuit) evalGates(vals []int64, ids []int32) {
+	for _, id := range ids {
+		g := c.gates[id]
+		switch g.Op {
+		case OpAdd:
+			vals[id] = vals[g.A] + vals[g.B]
+		case OpSub:
+			vals[id] = vals[g.A] - vals[g.B]
+		case OpMul:
+			vals[id] = vals[g.A] * vals[g.B]
+		case OpMod:
+			b := vals[g.B]
+			if b == 0 {
+				vals[id] = 0
+			} else {
+				m := vals[g.A] % b
+				if m < 0 {
+					if b < 0 {
+						m -= b
+					} else {
+						m += b
+					}
+				}
+				vals[id] = m
+			}
+		case OpAnd:
+			vals[id] = vals[g.A] & vals[g.B]
+		case OpOr:
+			vals[id] = vals[g.A] | vals[g.B]
+		case OpXor:
+			vals[id] = vals[g.A] ^ vals[g.B]
+		case OpNot:
+			vals[id] = ^vals[g.A]
+		case OpEq:
+			vals[id] = b2i(vals[g.A] == vals[g.B])
+		case OpLt:
+			vals[id] = b2i(vals[g.A] < vals[g.B])
+		case OpMux:
+			if vals[g.C] != 0 {
+				vals[id] = vals[g.A]
+			} else {
+				vals[id] = vals[g.B]
+			}
+		}
+	}
+}

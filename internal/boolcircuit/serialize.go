@@ -1,0 +1,210 @@
+package boolcircuit
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Circuit serialization: the outsourced-query and MPC scenarios ship a
+// compiled circuit to another party, so circuits need a stable wire
+// format. The format is versioned and self-contained:
+//
+//	magic "CQC1"
+//	uvarint gateCount, then per gate: op byte, operand uvarints
+//	  (operand+1, so the absent operand -1 encodes as 0), and for
+//	  constants the value as a zig-zag varint;
+//	uvarint outputCount, then output wire uvarints.
+//
+// Inputs are implicit (gates with OpInput, in order); depth and the
+// structural-hash table are rebuilt on load.
+
+const magic = "CQC1"
+
+// WriteTo serializes the circuit. It implements io.WriterTo.
+func (c *Circuit) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	n, err := bw.WriteString(magic)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		n, err := bw.Write(buf[:k])
+		written += int64(n)
+		return err
+	}
+	putVarint := func(v int64) error {
+		k := binary.PutVarint(buf[:], v)
+		n, err := bw.Write(buf[:k])
+		written += int64(n)
+		return err
+	}
+
+	if err := putUvarint(uint64(len(c.gates))); err != nil {
+		return written, err
+	}
+	for _, g := range c.gates {
+		if err := bw.WriteByte(byte(g.Op)); err != nil {
+			return written, err
+		}
+		written++
+		switch g.Op {
+		case OpInput:
+			// no operands
+		case OpConst:
+			if err := putVarint(g.K); err != nil {
+				return written, err
+			}
+		case OpNot:
+			if err := putUvarint(uint64(g.A + 1)); err != nil {
+				return written, err
+			}
+		case OpMux:
+			for _, op := range [3]int32{g.C, g.A, g.B} {
+				if err := putUvarint(uint64(op + 1)); err != nil {
+					return written, err
+				}
+			}
+		default:
+			for _, op := range [2]int32{g.A, g.B} {
+				if err := putUvarint(uint64(op + 1)); err != nil {
+					return written, err
+				}
+			}
+		}
+	}
+	if err := putUvarint(uint64(len(c.outputs))); err != nil {
+		return written, err
+	}
+	for _, o := range c.outputs {
+		if err := putUvarint(uint64(o)); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a circuit written by WriteTo, rebuilding depth
+// information and the structural-hash table.
+func Read(r io.Reader) (*Circuit, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("boolcircuit: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("boolcircuit: bad magic %q", head)
+	}
+	gateCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("boolcircuit: gate count: %w", err)
+	}
+	const maxGates = 1 << 31
+	if gateCount > maxGates {
+		return nil, fmt.Errorf("boolcircuit: unreasonable gate count %d", gateCount)
+	}
+	c := New()
+	c.gates = make([]Gate, 0, gateCount)
+	c.depth = make([]int32, 0, gateCount)
+
+	readOperand := func(limit int) (int32, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		op := int32(v) - 1
+		if op < -1 || int(op) >= limit {
+			return 0, fmt.Errorf("boolcircuit: operand %d out of range", op)
+		}
+		return op, nil
+	}
+
+	for i := 0; i < int(gateCount); i++ {
+		opByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("boolcircuit: gate %d: %w", i, err)
+		}
+		g := Gate{Op: Op(opByte), A: -1, B: -1, C: -1}
+		switch g.Op {
+		case OpInput:
+		case OpConst:
+			k, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			g.K = k
+		case OpNot:
+			if g.A, err = readOperand(i); err != nil {
+				return nil, err
+			}
+		case OpMux:
+			if g.C, err = readOperand(i); err != nil {
+				return nil, err
+			}
+			if g.A, err = readOperand(i); err != nil {
+				return nil, err
+			}
+			if g.B, err = readOperand(i); err != nil {
+				return nil, err
+			}
+		case OpAdd, OpSub, OpMul, OpMod, OpAnd, OpOr, OpXor, OpEq, OpLt:
+			if g.A, err = readOperand(i); err != nil {
+				return nil, err
+			}
+			if g.B, err = readOperand(i); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("boolcircuit: gate %d has unknown op %d", i, opByte)
+		}
+		for _, op := range [3]int32{g.A, g.B, g.C} {
+			if op >= 0 && int(op) >= i {
+				return nil, fmt.Errorf("boolcircuit: gate %d reads forward wire %d", i, op)
+			}
+		}
+		// Rebuild depth and bookkeeping exactly as push does.
+		var d int32
+		for _, op := range [3]int32{g.A, g.B, g.C} {
+			if op >= 0 && c.depth[op] > d {
+				d = c.depth[op]
+			}
+		}
+		if g.Op != OpInput && g.Op != OpConst {
+			d++
+		}
+		c.gates = append(c.gates, g)
+		c.depth = append(c.depth, d)
+		if d > c.maxDep {
+			c.maxDep = d
+		}
+		if g.Op == OpInput {
+			c.inputs = append(c.inputs, i)
+		} else {
+			c.hash[g] = i
+		}
+	}
+
+	outCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("boolcircuit: output count: %w", err)
+	}
+	if outCount > gateCount {
+		return nil, fmt.Errorf("boolcircuit: %d outputs for %d gates", outCount, gateCount)
+	}
+	for i := 0; i < int(outCount); i++ {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if v >= gateCount {
+			return nil, fmt.Errorf("boolcircuit: output wire %d out of range", v)
+		}
+		c.outputs = append(c.outputs, int(v))
+	}
+	return c, nil
+}

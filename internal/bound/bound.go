@@ -1,0 +1,375 @@
+// Package bound computes the degree-aware polymatroid bound of Section
+// 3.2: LOGDAPB(Q) = max { h([n]) : h ∈ Γ_n ∩ HDC }, where Γ_n is the
+// polymatroid cone and HDC the degree-constraint polytope. The bound is
+// computed by an exact LP over the elemental polymatroid inequalities,
+// and the LP dual is returned as a Shannon-flow witness (Theorem 1): a
+// non-negative vector δ over the degree constraints with
+// ⟨δ, h⟩ ≥ h(target) for every polymatroid h and Σ δ·n_{Y|X} = LOGDAPB.
+package bound
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"circuitql/internal/lp"
+	"circuitql/internal/query"
+)
+
+// DeltaTerm is one non-zero coordinate of the Shannon-flow vector δ: the
+// degree constraint it multiplies and its weight.
+type DeltaTerm struct {
+	DC     query.DegreeConstraint
+	Weight *big.Rat
+}
+
+// SubmodTerm is the multiplier of one elemental submodularity inequality
+// h(S∪i) + h(S∪j) ≥ h(S∪i∪j) + h(S) in the dual witness.
+type SubmodTerm struct {
+	S      query.VarSet // base set, excludes I and J
+	I, J   int          // the two distinguished variables, I < J
+	Weight *big.Rat     // ≥ 0
+}
+
+// MonoTerm is the multiplier of the elemental monotonicity inequality
+// h([n]) ≥ h([n] \ {V}).
+type MonoTerm struct {
+	V      int
+	Weight *big.Rat // ≥ 0
+}
+
+// SlackTerm is the multiplier of a variable's non-negativity h(S) ≥ 0 in
+// the witness (appears when dual feasibility is strict at h(S)).
+type SlackTerm struct {
+	S      query.VarSet
+	Weight *big.Rat // ≥ 0
+}
+
+// Witness is the dual certificate of the bound: for every polymatroid h,
+//
+//	Σ Delta · h(Y|X)  ≥  h(target) + Σ Submod·elem(h) + Σ Mono·mono(h) + Σ Slack·h(S)
+//
+// with all multipliers non-negative, hence ⟨δ, h⟩ ≥ h(target).
+type Witness struct {
+	Delta  []DeltaTerm
+	Submod []SubmodTerm
+	Mono   []MonoTerm
+	Slack  []SlackTerm
+}
+
+// Result is the outcome of a bound computation.
+type Result struct {
+	Target   query.VarSet
+	LogValue *big.Rat // LOGDAPB in bits (log₂ of the tuple-count bound)
+	Witness  Witness
+}
+
+// Value returns the bound 2^LogValue as a float64 tuple count.
+func (r *Result) Value() float64 {
+	f, _ := r.LogValue.Float64()
+	return math.Exp2(f)
+}
+
+// Log2Rat returns an exact rational equal to the float64 value of log₂ n.
+// For n a power of two the result is the exact integer logarithm.
+func Log2Rat(n float64) *big.Rat {
+	if n <= 0 {
+		panic("bound: log of non-positive value")
+	}
+	if n == 1 {
+		return new(big.Rat)
+	}
+	// Exact for powers of two.
+	if l := math.Log2(n); l == math.Trunc(l) && math.Exp2(l) == n {
+		return new(big.Rat).SetInt64(int64(l))
+	}
+	r, ok := new(big.Rat).SetString(fmt.Sprintf("%.12f", math.Log2(n)))
+	if !ok {
+		panic("bound: cannot represent log2")
+	}
+	return r
+}
+
+// LogDAPB computes the degree-aware polymatroid bound of the full variable
+// set: max h([n]) over Γ_n ∩ HDC.
+func LogDAPB(q *query.Query, dcs query.DCSet) (*Result, error) {
+	return LogBound(q, dcs, q.AllVars())
+}
+
+// LogBound computes max h(target) over Γ_n ∩ HDC for an arbitrary
+// non-empty target ⊆ [n] (used per GHD bag by the width computations).
+func LogBound(q *query.Query, dcs query.DCSet, target query.VarSet) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if err := dcs.Validate(q); err != nil {
+		return nil, err
+	}
+	return LogBoundRaw(q, dcs, target)
+}
+
+// LogBoundRaw is LogBound without the requirement that every constraint's
+// Y set be a hyperedge of the query. PANDA-C's truncation path re-derives
+// bounds over the degree constraints of *derived* relations (projections
+// and decomposition sub-relations), whose attribute sets are arbitrary
+// subsets of [n]; this entry point serves that case. Constraints must
+// still satisfy X ⊆ Y and N ≥ 1.
+func LogBoundRaw(q *query.Query, dcs query.DCSet, target query.VarSet) (*Result, error) {
+	for _, dc := range dcs {
+		if !dc.X.SubsetOf(dc.Y) || dc.N < 1 {
+			return nil, fmt.Errorf("bound: malformed constraint %s", dc.Label(q.VarNames))
+		}
+	}
+	if target.Empty() || !target.SubsetOf(q.AllVars()) {
+		return nil, fmt.Errorf("bound: invalid target %v", target)
+	}
+	n := q.NVars()
+	nvars := (1 << uint(n)) - 1 // h(S) for non-empty S; h(∅) = 0 implicit
+	varOf := func(s query.VarSet) int { return int(s) - 1 }
+
+	p := lp.NewProblem(nvars, lp.Maximize)
+	p.SetObjectiveInt(varOf(target), 1)
+
+	// Degree constraints: h(Y) - h(X) ≤ log N.
+	type dcRow struct {
+		row int
+		dc  query.DegreeConstraint
+	}
+	dcRows := make([]dcRow, 0, len(dcs))
+	for _, dc := range dcs {
+		coeffs := map[int]*big.Rat{varOf(dc.Y): lp.Rat(1, 1)}
+		if !dc.X.Empty() {
+			coeffs[varOf(dc.X)] = lp.Rat(-1, 1)
+		}
+		r := p.AddLE(coeffs, Log2Rat(dc.N))
+		dcRows = append(dcRows, dcRow{row: r, dc: dc})
+	}
+
+	// Elemental submodularities: h(S∪i) + h(S∪j) - h(S∪ij) - h(S) ≥ 0.
+	type smRow struct {
+		row  int
+		s    query.VarSet
+		i, j int
+	}
+	var smRows []smRow
+	full := q.AllVars()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			rest := full.Remove(i).Remove(j)
+			rest.Subsets(func(s query.VarSet) {
+				coeffs := map[int]*big.Rat{}
+				add := func(set query.VarSet, w int64) {
+					if set.Empty() {
+						return
+					}
+					k := varOf(set)
+					if c, ok := coeffs[k]; ok {
+						c.Add(c, lp.Rat(w, 1))
+					} else {
+						coeffs[k] = lp.Rat(w, 1)
+					}
+				}
+				add(s.Add(i), 1)
+				add(s.Add(j), 1)
+				add(s.Add(i).Add(j), -1)
+				add(s, -1)
+				r := p.AddGE(coeffs, lp.Rat(0, 1))
+				smRows = append(smRows, smRow{row: r, s: s, i: i, j: j})
+			})
+		}
+	}
+
+	// Elemental monotonicities: h([n]) - h([n]\{i}) ≥ 0.
+	type moRow struct {
+		row int
+		v   int
+	}
+	moRows := make([]moRow, 0, n)
+	for i := 0; i < n; i++ {
+		coeffs := map[int]*big.Rat{varOf(full): lp.Rat(1, 1)}
+		rest := full.Remove(i)
+		if !rest.Empty() {
+			coeffs[varOf(rest)] = lp.Rat(-1, 1)
+		}
+		r := p.AddGE(coeffs, lp.Rat(0, 1))
+		moRows = append(moRows, moRow{row: r, v: i})
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Unbounded:
+		return nil, fmt.Errorf("bound: LOGDAPB unbounded: degree constraints do not bound h(%s)", target.Label(q.VarNames))
+	default:
+		return nil, fmt.Errorf("bound: LP %v", sol.Status)
+	}
+
+	res := &Result{Target: target, LogValue: sol.Objective}
+	for _, dr := range dcRows {
+		w := sol.Dual[dr.row]
+		if w.Sign() > 0 {
+			res.Witness.Delta = append(res.Witness.Delta, DeltaTerm{DC: dr.dc, Weight: new(big.Rat).Set(w)})
+		}
+	}
+	for _, sr := range smRows {
+		// GE-row duals are ≤ 0 for Maximize; the witness multiplier is -y.
+		w := new(big.Rat).Neg(sol.Dual[sr.row])
+		if w.Sign() > 0 {
+			res.Witness.Submod = append(res.Witness.Submod, SubmodTerm{S: sr.s, I: sr.i, J: sr.j, Weight: w})
+		}
+	}
+	for _, mr := range moRows {
+		w := new(big.Rat).Neg(sol.Dual[mr.row])
+		if w.Sign() > 0 {
+			res.Witness.Mono = append(res.Witness.Mono, MonoTerm{V: mr.v, Weight: w})
+		}
+	}
+	res.fillSlack(q, nvars)
+	return res, nil
+}
+
+// fillSlack derives the h(S) ≥ 0 multipliers from the identity
+//
+//	Σδ·h(Y|X) - h(target) - Σμ_s·elem_s(h) - Σμ_m·mono_m(h) = Σ slack_S·h(S),
+//
+// which must have non-negative coefficients by LP dual feasibility.
+func (r *Result) fillSlack(q *query.Query, nvars int) {
+	coef := make([]*big.Rat, nvars+1) // index by int(S)
+	for i := range coef {
+		coef[i] = new(big.Rat)
+	}
+	add := func(s query.VarSet, w *big.Rat) {
+		if s.Empty() {
+			return
+		}
+		coef[int(s)].Add(coef[int(s)], w)
+	}
+	sub := func(s query.VarSet, w *big.Rat) {
+		if s.Empty() {
+			return
+		}
+		coef[int(s)].Sub(coef[int(s)], w)
+	}
+	for _, d := range r.Witness.Delta {
+		add(d.DC.Y, d.Weight)
+		sub(d.DC.X, d.Weight)
+	}
+	sub(r.Target, big.NewRat(1, 1))
+	for _, s := range r.Witness.Submod {
+		sub(s.S.Add(s.I), s.Weight)
+		sub(s.S.Add(s.J), s.Weight)
+		add(s.S.Add(s.I).Add(s.J), s.Weight)
+		add(s.S, s.Weight)
+	}
+	full := q.AllVars()
+	for _, m := range r.Witness.Mono {
+		sub(full, m.Weight)
+		add(full.Remove(m.V), m.Weight)
+	}
+	for s := 1; s <= nvars; s++ {
+		if coef[s].Sign() > 0 {
+			r.Witness.Slack = append(r.Witness.Slack, SlackTerm{S: query.VarSet(s), Weight: new(big.Rat).Set(coef[s])})
+		}
+	}
+}
+
+// CheckWitness verifies the witness identity exactly: the functional
+// Σδ·h(Y|X) - h(target) must equal the non-negative combination of
+// elemental inequalities and variable non-negativities recorded in the
+// witness, coefficient by coefficient. It also verifies
+// Σ δ·n_{Y|X} = LOGDAPB (Theorem 1's tightness condition).
+func (r *Result) CheckWitness(q *query.Query) error {
+	n := q.NVars()
+	nvars := (1 << uint(n)) - 1
+	coef := make([]*big.Rat, nvars+1)
+	for i := range coef {
+		coef[i] = new(big.Rat)
+	}
+	add := func(s query.VarSet, w *big.Rat) {
+		if !s.Empty() {
+			coef[int(s)].Add(coef[int(s)], w)
+		}
+	}
+	neg := func(w *big.Rat) *big.Rat { return new(big.Rat).Neg(w) }
+
+	for _, d := range r.Witness.Delta {
+		if d.Weight.Sign() < 0 {
+			return fmt.Errorf("bound: negative δ weight")
+		}
+		add(d.DC.Y, d.Weight)
+		add(d.DC.X, neg(d.Weight))
+	}
+	add(r.Target, big.NewRat(-1, 1))
+	for _, s := range r.Witness.Submod {
+		if s.Weight.Sign() < 0 {
+			return fmt.Errorf("bound: negative submodularity weight")
+		}
+		add(s.S.Add(s.I), neg(s.Weight))
+		add(s.S.Add(s.J), neg(s.Weight))
+		add(s.S.Add(s.I).Add(s.J), s.Weight)
+		add(s.S, s.Weight)
+	}
+	full := q.AllVars()
+	for _, m := range r.Witness.Mono {
+		if m.Weight.Sign() < 0 {
+			return fmt.Errorf("bound: negative monotonicity weight")
+		}
+		add(full, neg(m.Weight))
+		add(full.Remove(m.V), m.Weight)
+	}
+	for _, sl := range r.Witness.Slack {
+		if sl.Weight.Sign() < 0 {
+			return fmt.Errorf("bound: negative slack weight")
+		}
+		add(sl.S, neg(sl.Weight))
+	}
+	for s := 1; s <= nvars; s++ {
+		if coef[s].Sign() != 0 {
+			return fmt.Errorf("bound: witness identity fails at h(%s): residual %v",
+				query.VarSet(s).Label(q.VarNames), coef[s])
+		}
+	}
+
+	total := new(big.Rat)
+	for _, d := range r.Witness.Delta {
+		total.Add(total, new(big.Rat).Mul(d.Weight, Log2Rat(d.DC.N)))
+	}
+	if total.Cmp(r.LogValue) != 0 {
+		return fmt.Errorf("bound: Σδ·n = %v ≠ LOGDAPB = %v", total, r.LogValue)
+	}
+	return nil
+}
+
+// FractionalEdgeCoverNumber returns ρ*(Q): the minimum total weight of a
+// fractional edge cover of the query hypergraph. Under uniform cardinality
+// constraints N, the AGM (and polymatroid) bound is N^ρ*.
+func FractionalEdgeCoverNumber(q *query.Query) (*big.Rat, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	edges := q.Edges()
+	p := lp.NewProblem(len(edges), lp.Minimize)
+	for i := range edges {
+		p.SetObjectiveInt(i, 1)
+	}
+	for v := 0; v < q.NVars(); v++ {
+		coeffs := map[int]*big.Rat{}
+		for i, e := range edges {
+			if e.Has(v) {
+				coeffs[i] = lp.Rat(1, 1)
+			}
+		}
+		p.AddGE(coeffs, lp.Rat(1, 1))
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("bound: edge cover LP %v", sol.Status)
+	}
+	return sol.Objective, nil
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"circuitql/internal/expr"
+	"circuitql/internal/panda"
+	"circuitql/internal/query"
+	"circuitql/internal/relation"
+	"circuitql/internal/relcircuit"
+)
+
+// BooleanCircuit decides a Boolean conjunctive query: its single-tuple
+// output relation carries 1 iff Q(D) is true. This is the "decision
+// version of relational algebra is in NC" statement the paper opens
+// with, realized at the polymatroid-bound size instead of N^m.
+type BooleanCircuit struct {
+	Query     *query.Query
+	Rel       *relcircuit.Circuit
+	RelOutput int
+	Obliv     *ObliviousCircuit
+}
+
+// ResultAttr is the 0/1 answer column of a Boolean circuit's output.
+const ResultAttr = "result"
+
+// CompileBoolean compiles a Boolean CQ (no free variables) into a
+// decision circuit: the full-join PANDA-C circuit followed by a global
+// count and a threshold (count ≥ 1). The output relation always
+// contains exactly one tuple over {result}.
+func CompileBoolean(q *query.Query, dcs query.DCSet) (*BooleanCircuit, error) {
+	if !q.IsBoolean() {
+		return nil, fmt.Errorf("core: %s is not a Boolean query", q)
+	}
+	full := &query.Query{VarNames: q.VarNames, Free: q.AllVars(), Atoms: q.Atoms}
+	res, err := panda.Compile(full, dcs, full.AllVars())
+	if err != nil {
+		return nil, err
+	}
+	c := res.Circuit
+	// Count the witnesses and threshold. When the full join is empty the
+	// count relation is empty too, which decodes as "false"; otherwise it
+	// holds the single tuple (1).
+	cnt := c.Agg(res.Output, nil, relation.AggCount, "", "n", relcircuit.Card(1))
+	out := c.Map(cnt, []relcircuit.MapExpr{
+		{As: ResultAttr, E: expr.Ge(expr.Attr("n"), expr.Const(1))},
+	}, relcircuit.Card(1))
+	c.Outputs = nil // the decision bit supersedes the join output
+	c.MarkOutput(out)
+
+	obl, err := CompileOblivious(c)
+	if err != nil {
+		return nil, err
+	}
+	return &BooleanCircuit{Query: q, Rel: c, RelOutput: out, Obliv: obl}, nil
+}
+
+// Decide evaluates the oblivious decision circuit.
+func (bc *BooleanCircuit) Decide(db query.Database) (bool, error) {
+	pdb, err := panda.PrepareDB(bc.Query, db)
+	if err != nil {
+		return false, err
+	}
+	outs, err := bc.Obliv.Evaluate(pdb)
+	if err != nil {
+		return false, err
+	}
+	r := outs[bc.RelOutput]
+	ok := false
+	r.Each(func(t relation.Tuple) {
+		if t[r.AttrPos(ResultAttr)] != 0 {
+			ok = true
+		}
+	})
+	return ok, nil
+}
+
+// DecideRelational evaluates the relational layer (for checking).
+func (bc *BooleanCircuit) DecideRelational(db query.Database, check bool) (bool, error) {
+	pdb, err := panda.PrepareDB(bc.Query, db)
+	if err != nil {
+		return false, err
+	}
+	outs, err := bc.Rel.Evaluate(pdb, check)
+	if err != nil {
+		return false, err
+	}
+	r := outs[bc.RelOutput]
+	ok := false
+	r.Each(func(t relation.Tuple) {
+		if t[r.AttrPos(ResultAttr)] != 0 {
+			ok = true
+		}
+	})
+	return ok, nil
+}

@@ -1,0 +1,247 @@
+// Package core assembles the paper's primary contribution end to end:
+// given a conjunctive query and degree constraints, it compiles a
+// PANDA-C relational circuit (Theorem 3) and lowers every relational gate
+// to the oblivious word-level circuits of Section 5, producing a single
+// data-independent circuit of Õ(1) depth and Õ(N + DAPB(Q)) size that
+// computes Q(D) for every conforming instance (Theorem 4).
+//
+// The package also provides the Brent-theorem PRAM scheduler used by the
+// parallel-evaluation experiments: a circuit of size W and depth D runs
+// in O(W/P + D) steps on P processors [12].
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"circuitql/internal/boolcircuit"
+	"circuitql/internal/bound"
+	"circuitql/internal/opcircuits"
+	"circuitql/internal/panda"
+	"circuitql/internal/query"
+	"circuitql/internal/relation"
+	"circuitql/internal/relcircuit"
+)
+
+// InputSpec describes one input relation of an oblivious circuit: its
+// database key, schema, and slot capacity. Inputs are packed in spec
+// order.
+type InputSpec struct {
+	Name     string
+	Schema   []string
+	Capacity int
+}
+
+// OutputSpec locates one decoded output in the flat output vector.
+type OutputSpec struct {
+	Gate     int // relational-circuit gate id
+	Schema   []string
+	Capacity int
+	Offset   int // starting index among the circuit outputs
+}
+
+// ObliviousCircuit is a compiled word-level circuit with the metadata
+// needed to feed relations in and decode relations out.
+type ObliviousCircuit struct {
+	C       *boolcircuit.Circuit
+	Inputs  []InputSpec
+	Outputs []OutputSpec
+}
+
+// CompileOblivious lowers a relational circuit gate by gate into an
+// oblivious circuit. Every wire's slot capacity is the ceiling of its
+// declared cardinality bound; join strategies are chosen from the
+// declared degree bounds exactly as Section 5 prescribes (primary-key
+// join when the degree bound is 1, degree-bounded join otherwise,
+// cross product when there are no common attributes).
+func CompileOblivious(rc *relcircuit.Circuit) (*ObliviousCircuit, error) {
+	c := boolcircuit.New()
+	oc := &ObliviousCircuit{C: c}
+	vals := make([]opcircuits.ORel, len(rc.Gates))
+
+	capOf := func(g relcircuit.Gate) (int, error) {
+		if math.IsInf(g.Out.Card, 0) || math.IsNaN(g.Out.Card) {
+			return 0, fmt.Errorf("core: gate %d (%v) has no finite cardinality bound", g.ID, g.Kind)
+		}
+		return relcircuit.Ceil(g.Out.Card), nil
+	}
+
+	for _, g := range rc.Gates {
+		capacity, err := capOf(g)
+		if err != nil {
+			return nil, err
+		}
+		var out opcircuits.ORel
+		switch g.Kind {
+		case relcircuit.KindInput:
+			out = opcircuits.NewInput(c, g.Schema, capacity)
+			oc.Inputs = append(oc.Inputs, InputSpec{Name: g.Name, Schema: g.Schema, Capacity: capacity})
+		case relcircuit.KindSelect:
+			out = opcircuits.Select(c, vals[g.In[0]], g.Pred)
+		case relcircuit.KindProject:
+			out = opcircuits.Project(c, vals[g.In[0]], g.Attrs)
+		case relcircuit.KindUnion:
+			out = opcircuits.Union(c, vals[g.In[0]], vals[g.In[1]])
+		case relcircuit.KindAgg:
+			out = opcircuits.Aggregate(c, vals[g.In[0]], g.GroupBy, g.AggKind, g.AggOver, g.AggAs)
+		case relcircuit.KindOrder:
+			out = opcircuits.Order(c, vals[g.In[0]], g.Attrs)
+		case relcircuit.KindMap:
+			cols := make([]opcircuits.MapCol, len(g.MapExprs))
+			for i, me := range g.MapExprs {
+				cols[i] = opcircuits.MapCol{As: me.As, E: me.E}
+			}
+			out = opcircuits.Map(c, vals[g.In[0]], cols)
+		case relcircuit.KindCap:
+			out = opcircuits.Truncate(c, vals[g.In[0]], capacity)
+		case relcircuit.KindJoin:
+			r, s := vals[g.In[0]], vals[g.In[1]]
+			f := commonAttrs(r.Schema, s.Schema)
+			if len(f) == 0 {
+				out = opcircuits.DegJoin(c, r, s, s.Capacity())
+			} else {
+				sBound := rc.Gates[g.In[1]].Out
+				deg := relcircuit.Ceil(sBound.DegOn(f))
+				out = opcircuits.DegJoin(c, r, s, deg)
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown relational gate kind %v", g.Kind)
+		}
+		// Enforce the declared wire bound: shrink capacity when the
+		// declared cardinality is below the operator's natural output
+		// capacity, so downstream sizes follow the cost model.
+		if capacity < out.Capacity() {
+			out = opcircuits.Truncate(c, out, capacity)
+		}
+		vals[g.ID] = out
+	}
+
+	offset := 0
+	for _, id := range rc.Outputs {
+		r := vals[id]
+		opcircuits.MarkOutputs(c, r)
+		oc.Outputs = append(oc.Outputs, OutputSpec{
+			Gate: id, Schema: r.Schema, Capacity: r.Capacity(), Offset: offset,
+		})
+		offset += r.Capacity() * (1 + len(r.Schema))
+	}
+	return oc, nil
+}
+
+// Evaluate packs the named relations, runs the circuit, and decodes
+// every output. Relations must conform to the bounds the circuit was
+// compiled for (otherwise packing fails on capacity).
+func (oc *ObliviousCircuit) Evaluate(db map[string]*relation.Relation) (map[int]*relation.Relation, error) {
+	var inputs []int64
+	for _, spec := range oc.Inputs {
+		rel, ok := db[spec.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: database missing relation %q", spec.Name)
+		}
+		packed, err := opcircuits.Pack(rel, spec.Schema, spec.Capacity)
+		if err != nil {
+			return nil, fmt.Errorf("core: packing %q: %w", spec.Name, err)
+		}
+		inputs = append(inputs, packed...)
+	}
+	raw, err := oc.C.Evaluate(inputs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*relation.Relation, len(oc.Outputs))
+	for _, spec := range oc.Outputs {
+		width := spec.Capacity * (1 + len(spec.Schema))
+		rel, err := opcircuits.Decode(spec.Schema, raw[spec.Offset:spec.Offset+width])
+		if err != nil {
+			return nil, err
+		}
+		out[spec.Gate] = rel
+	}
+	return out, nil
+}
+
+func commonAttrs(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Compiled bundles the two circuit layers for one query.
+type Compiled struct {
+	Query     *query.Query
+	DC        query.DCSet
+	Rel       *relcircuit.Circuit
+	RelOutput int
+	Obliv     *ObliviousCircuit
+	Bound     *bound.Result
+}
+
+// CompileQuery runs the full pipeline for a full CQ: PANDA-C to a
+// relational circuit, then the oblivious lowering.
+func CompileQuery(q *query.Query, dcs query.DCSet) (*Compiled, error) {
+	res, err := panda.CompileFCQ(q, dcs)
+	if err != nil {
+		return nil, err
+	}
+	obl, err := CompileOblivious(res.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Query:     q,
+		DC:        dcs,
+		Rel:       res.Circuit,
+		RelOutput: res.Output,
+		Obliv:     obl,
+		Bound:     res.Bound,
+	}, nil
+}
+
+// EvaluateOblivious runs the oblivious circuit on a database and returns
+// Q(D).
+func (cq *Compiled) EvaluateOblivious(db query.Database) (*relation.Relation, error) {
+	pdb, err := panda.PrepareDB(cq.Query, db)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := cq.Obliv.Evaluate(pdb)
+	if err != nil {
+		return nil, err
+	}
+	return outs[cq.RelOutput], nil
+}
+
+// EvaluateRelational runs the relational circuit (the reference layer)
+// with optional bound checking.
+func (cq *Compiled) EvaluateRelational(db query.Database, check bool) (*relation.Relation, error) {
+	pdb, err := panda.PrepareDB(cq.Query, db)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := cq.Rel.Evaluate(pdb, check)
+	if err != nil {
+		return nil, err
+	}
+	return outs[cq.RelOutput], nil
+}
+
+// BrentSchedule simulates evaluating the circuit on p processors by
+// greedy level-by-level scheduling and returns the number of parallel
+// steps: Σ_levels ⌈W_l / p⌉ ≤ W/p + D, Brent's bound [12].
+func BrentSchedule(c *boolcircuit.Circuit, p int) int {
+	if p < 1 {
+		p = 1
+	}
+	steps := 0
+	for _, w := range c.LevelSizes() {
+		steps += (w + p - 1) / p
+	}
+	return steps
+}

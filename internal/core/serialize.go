@@ -1,0 +1,92 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"circuitql/internal/boolcircuit"
+)
+
+// Oblivious-circuit artifact serialization: the outsourced-processing
+// scenario ships the compiled circuit (plus its packing metadata) to the
+// evaluating party. Format: a JSON header (input/output specs) preceded
+// by its varint-free fixed-width length line, then the boolcircuit wire
+// format.
+
+type artifactHeader struct {
+	Version int          `json:"version"`
+	Inputs  []InputSpec  `json:"inputs"`
+	Outputs []OutputSpec `json:"outputs"`
+}
+
+// WriteTo serializes the oblivious circuit with its metadata.
+func (oc *ObliviousCircuit) WriteTo(w io.Writer) (int64, error) {
+	head, err := json.Marshal(artifactHeader{Version: 1, Inputs: oc.Inputs, Outputs: oc.Outputs})
+	if err != nil {
+		return 0, err
+	}
+	var written int64
+	n, err := fmt.Fprintf(w, "CQOC %10d\n", len(head))
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	m, err := w.Write(head)
+	written += int64(m)
+	if err != nil {
+		return written, err
+	}
+	cn, err := oc.C.WriteTo(w)
+	written += cn
+	return written, err
+}
+
+// ReadObliviousCircuit deserializes an artifact written by WriteTo.
+func ReadObliviousCircuit(r io.Reader) (*ObliviousCircuit, error) {
+	var headLen int
+	prefix := make([]byte, len("CQOC ")+10+1)
+	if _, err := io.ReadFull(r, prefix); err != nil {
+		return nil, fmt.Errorf("core: artifact prefix: %w", err)
+	}
+	if _, err := fmt.Sscanf(string(prefix), "CQOC %d\n", &headLen); err != nil {
+		return nil, fmt.Errorf("core: bad artifact prefix %q", prefix)
+	}
+	if headLen < 2 || headLen > 1<<28 {
+		return nil, fmt.Errorf("core: unreasonable header length %d", headLen)
+	}
+	head := make([]byte, headLen)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("core: artifact header: %w", err)
+	}
+	var h artifactHeader
+	if err := json.Unmarshal(head, &h); err != nil {
+		return nil, fmt.Errorf("core: artifact header: %w", err)
+	}
+	if h.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported artifact version %d", h.Version)
+	}
+	c, err := boolcircuit.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	oc := &ObliviousCircuit{C: c, Inputs: h.Inputs, Outputs: h.Outputs}
+	// Cross-check metadata against the circuit shape.
+	wires := 0
+	for _, in := range oc.Inputs {
+		wires += in.Capacity * (1 + len(in.Schema))
+	}
+	if wires != c.NumInputs() {
+		return nil, fmt.Errorf("core: artifact metadata expects %d input wires, circuit has %d",
+			wires, c.NumInputs())
+	}
+	outWires := 0
+	for _, o := range oc.Outputs {
+		outWires += o.Capacity * (1 + len(o.Schema))
+	}
+	if outWires != len(c.Outputs()) {
+		return nil, fmt.Errorf("core: artifact metadata expects %d output wires, circuit has %d",
+			outWires, len(c.Outputs()))
+	}
+	return oc, nil
+}

@@ -1,0 +1,249 @@
+// Package expr is a small symbolic expression language over tuple
+// attributes. Relational-circuit selection and map gates carry these ASTs
+// instead of opaque Go closures so that circuits remain data-independent
+// and the oblivious compiler (package core) can translate every gate into
+// word-level circuit gates.
+//
+// Expressions evaluate to int64; comparison and logical operators yield
+// 0 or 1. All operators are total (no errors at evaluation time).
+package expr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Expr is a symbolic expression over named tuple attributes.
+type Expr interface {
+	// Eval computes the expression; lookup resolves attribute values.
+	Eval(lookup func(attr string) int64) int64
+	// Attrs appends the attribute names the expression reads.
+	appendAttrs(dst []string) []string
+	// compile lowers the expression through a Backend.
+	compile(b Backend) int
+	fmt.Stringer
+}
+
+// Backend lowers expressions into another representation (the oblivious
+// compiler implements it over circuit wires). Handles are opaque ints.
+type Backend interface {
+	// Attr returns the handle carrying the named attribute's value.
+	Attr(name string) int
+	// Const returns a handle carrying a constant.
+	Const(v int64) int
+	// Bin applies a binary operator (never OpNot) to two handles.
+	Bin(op Op, l, r int) int
+	// Not applies logical negation (0/1 semantics).
+	Not(x int) int
+}
+
+// Compile lowers e through backend b and returns the root handle.
+func Compile(e Expr, b Backend) int { return e.compile(b) }
+
+// Attrs returns the sorted, deduplicated attribute names read by e.
+func Attrs(e Expr) []string {
+	all := e.appendAttrs(nil)
+	sort.Strings(all)
+	out := all[:0]
+	for i, a := range all {
+		if i == 0 || a != all[i-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// attrExpr reads an attribute.
+type attrExpr string
+
+// Attr returns an expression reading attribute name.
+func Attr(name string) Expr { return attrExpr(name) }
+
+func (a attrExpr) Eval(lookup func(string) int64) int64 { return lookup(string(a)) }
+func (a attrExpr) compile(b Backend) int                { return b.Attr(string(a)) }
+func (a attrExpr) appendAttrs(dst []string) []string    { return append(dst, string(a)) }
+func (a attrExpr) String() string                       { return string(a) }
+
+// constExpr is an integer literal.
+type constExpr int64
+
+// Const returns a constant expression.
+func Const(v int64) Expr { return constExpr(v) }
+
+func (c constExpr) Eval(func(string) int64) int64     { return int64(c) }
+func (c constExpr) compile(b Backend) int             { return b.Const(int64(c)) }
+func (c constExpr) appendAttrs(dst []string) []string { return dst }
+func (c constExpr) String() string                    { return fmt.Sprintf("%d", int64(c)) }
+
+// Op is a binary or unary operator.
+type Op int
+
+// Operators. Arithmetic wraps on overflow (two's complement); comparisons
+// and logical operators return 0 or 1. OpNot is unary.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpMod // x mod m, with mod 0 -> 0 and the result taken non-negative
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd // logical: nonzero operands count as true
+	OpOr
+	OpNot // unary
+)
+
+var opNames = map[Op]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpMod: "%",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&&", OpOr: "||", OpNot: "!",
+}
+
+// String returns the operator symbol.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+type binExpr struct {
+	op   Op
+	l, r Expr
+}
+
+// Bin builds a binary operation; it panics on OpNot (use Not).
+func Bin(op Op, l, r Expr) Expr {
+	if op == OpNot {
+		panic("expr: OpNot is unary; use Not")
+	}
+	return binExpr{op: op, l: l, r: r}
+}
+
+// Convenience constructors.
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return Bin(OpAdd, l, r) }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return Bin(OpSub, l, r) }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return Bin(OpMul, l, r) }
+
+// Mod returns l mod r (non-negative result; x mod 0 = 0).
+func Mod(l, r Expr) Expr { return Bin(OpMod, l, r) }
+
+// Eq returns l == r as 0/1.
+func Eq(l, r Expr) Expr { return Bin(OpEq, l, r) }
+
+// Ne returns l != r as 0/1.
+func Ne(l, r Expr) Expr { return Bin(OpNe, l, r) }
+
+// Lt returns l < r as 0/1.
+func Lt(l, r Expr) Expr { return Bin(OpLt, l, r) }
+
+// Le returns l <= r as 0/1.
+func Le(l, r Expr) Expr { return Bin(OpLe, l, r) }
+
+// Gt returns l > r as 0/1.
+func Gt(l, r Expr) Expr { return Bin(OpGt, l, r) }
+
+// Ge returns l >= r as 0/1.
+func Ge(l, r Expr) Expr { return Bin(OpGe, l, r) }
+
+// And returns l && r as 0/1.
+func And(l, r Expr) Expr { return Bin(OpAnd, l, r) }
+
+// Or returns l || r as 0/1.
+func Or(l, r Expr) Expr { return Bin(OpOr, l, r) }
+
+func (b binExpr) Eval(lookup func(string) int64) int64 {
+	l := b.l.Eval(lookup)
+	r := b.r.Eval(lookup)
+	switch b.op {
+	case OpAdd:
+		return l + r
+	case OpSub:
+		return l - r
+	case OpMul:
+		return l * r
+	case OpMod:
+		if r == 0 {
+			return 0
+		}
+		m := l % r
+		if m < 0 {
+			m += abs(r)
+		}
+		return m
+	case OpEq:
+		return b2i(l == r)
+	case OpNe:
+		return b2i(l != r)
+	case OpLt:
+		return b2i(l < r)
+	case OpLe:
+		return b2i(l <= r)
+	case OpGt:
+		return b2i(l > r)
+	case OpGe:
+		return b2i(l >= r)
+	case OpAnd:
+		return b2i(l != 0 && r != 0)
+	case OpOr:
+		return b2i(l != 0 || r != 0)
+	}
+	panic(fmt.Sprintf("expr: bad binary op %v", b.op))
+}
+
+func (b binExpr) compile(be Backend) int {
+	return be.Bin(b.op, b.l.compile(be), b.r.compile(be))
+}
+
+func (b binExpr) appendAttrs(dst []string) []string {
+	return b.r.appendAttrs(b.l.appendAttrs(dst))
+}
+
+func (b binExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.l, b.op, b.r)
+}
+
+type notExpr struct{ e Expr }
+
+// Not returns !e as 0/1.
+func Not(e Expr) Expr { return notExpr{e: e} }
+
+func (n notExpr) Eval(lookup func(string) int64) int64 { return b2i(n.e.Eval(lookup) == 0) }
+func (n notExpr) compile(b Backend) int                { return b.Not(n.e.compile(b)) }
+func (n notExpr) appendAttrs(dst []string) []string    { return n.e.appendAttrs(dst) }
+func (n notExpr) String() string                       { return "!" + n.e.String() }
+
+// InRange returns lo <= a < hi for attribute a, the shape of the
+// decomposition circuit's per-level selection (Algorithm 2, line 4).
+func InRange(a string, lo, hi int64) Expr {
+	return And(Ge(Attr(a), Const(lo)), Lt(Attr(a), Const(hi)))
+}
+
+// IsOdd returns (a mod 2 == 1), the parity selection of Algorithm 2.
+func IsOdd(a string) Expr { return Eq(Mod(Attr(a), Const(2)), Const(1)) }
+
+// IsEven returns (a mod 2 == 0).
+func IsEven(a string) Expr { return Eq(Mod(Attr(a), Const(2)), Const(0)) }
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func abs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

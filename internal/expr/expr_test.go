@@ -1,0 +1,111 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func look(m map[string]int64) func(string) int64 {
+	return func(a string) int64 { return m[a] }
+}
+
+func TestArithmetic(t *testing.T) {
+	env := look(map[string]int64{"x": 7, "y": 3})
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{Add(Attr("x"), Attr("y")), 10},
+		{Sub(Attr("x"), Attr("y")), 4},
+		{Mul(Attr("x"), Const(2)), 14},
+		{Mod(Attr("x"), Const(2)), 1},
+		{Mod(Const(-7), Const(2)), 1}, // non-negative mod
+		{Mod(Attr("x"), Const(0)), 0}, // mod 0 -> 0
+		{Eq(Attr("x"), Const(7)), 1},
+		{Ne(Attr("x"), Const(7)), 0},
+		{Lt(Attr("y"), Attr("x")), 1},
+		{Le(Const(3), Attr("y")), 1},
+		{Gt(Attr("y"), Attr("x")), 0},
+		{Ge(Attr("x"), Const(8)), 0},
+		{And(Const(1), Const(2)), 1},
+		{And(Const(1), Const(0)), 0},
+		{Or(Const(0), Const(5)), 1},
+		{Or(Const(0), Const(0)), 0},
+		{Not(Const(0)), 1},
+		{Not(Const(9)), 0},
+	}
+	for _, c := range cases {
+		if got := c.e.Eval(env); got != c.want {
+			t.Errorf("%s = %d, want %d", c.e, got, c.want)
+		}
+	}
+}
+
+func TestRangeAndParity(t *testing.T) {
+	for v := int64(0); v < 10; v++ {
+		env := look(map[string]int64{"c": v})
+		in := InRange("c", 2, 5).Eval(env) != 0
+		if in != (v >= 2 && v < 5) {
+			t.Errorf("InRange(2,5) wrong at %d", v)
+		}
+		if (IsOdd("c").Eval(env) != 0) != (v%2 == 1) {
+			t.Errorf("IsOdd wrong at %d", v)
+		}
+		if (IsEven("c").Eval(env) != 0) != (v%2 == 0) {
+			t.Errorf("IsEven wrong at %d", v)
+		}
+	}
+}
+
+func TestAttrs(t *testing.T) {
+	e := And(Eq(Attr("b"), Attr("a")), Lt(Attr("a"), Const(3)))
+	got := Attrs(e)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Attrs = %v", got)
+	}
+	if len(Attrs(Const(1))) != 0 {
+		t.Fatal("constant should read no attrs")
+	}
+}
+
+func TestString(t *testing.T) {
+	e := And(Ge(Attr("c"), Const(2)), Lt(Attr("c"), Const(4)))
+	if e.String() != "((c >= 2) && (c < 4))" {
+		t.Fatalf("String = %q", e.String())
+	}
+	if Not(Attr("z")).String() != "!z" {
+		t.Fatalf("Not.String = %q", Not(Attr("z")).String())
+	}
+}
+
+func TestBinRejectsNot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Bin(OpNot, Const(1), Const(2))
+}
+
+// Property: comparisons agree with Go semantics on random values.
+func TestComparisonProperty(t *testing.T) {
+	f := func(x, y int64) bool {
+		env := look(map[string]int64{"x": x, "y": y})
+		return (Lt(Attr("x"), Attr("y")).Eval(env) == 1) == (x < y) &&
+			(Eq(Attr("x"), Attr("y")).Eval(env) == 1) == (x == y) &&
+			(Ge(Attr("x"), Attr("y")).Eval(env) == 1) == (x >= y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "+" || OpNot.String() != "!" {
+		t.Fatal("Op.String wrong")
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Fatal("unknown Op.String wrong")
+	}
+}

@@ -1,0 +1,141 @@
+package opcircuits
+
+import (
+	"math/rand"
+	"testing"
+
+	"circuitql/internal/relation"
+)
+
+// Multi-attribute join keys and adversarial values: the generalized forms
+// of Algorithms 6 and 7 that the paper writes "without loss of
+// generality" for single attributes.
+
+func TestPKJoinMultiColumnKey(t *testing.T) {
+	r := relation.FromTuples([]string{"A", "B1", "B2"},
+		relation.Tuple{1, 10, 100}, relation.Tuple{2, 10, 200}, relation.Tuple{3, 20, 100})
+	// (B1,B2) is a key of s.
+	s := relation.FromTuples([]string{"B1", "B2", "C"},
+		relation.Tuple{10, 100, 7}, relation.Tuple{20, 100, 8}, relation.Tuple{10, 200, 9})
+	h := newHarness(t)
+	rr := h.input(r, 4)
+	ss := h.input(s, 4)
+	out := PKJoin(h.c, rr, ss)
+	mustEqual(t, h.run(out), r.NaturalJoin(s), "multi-column pk join")
+}
+
+func TestDegJoinMultiColumnKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for iter := 0; iter < 6; iter++ {
+		r := relation.New("A", "B1", "B2")
+		for r.Len() < 8 {
+			r.Insert(int64(rng.Intn(4)), int64(rng.Intn(3)), int64(rng.Intn(3)))
+		}
+		deg := 1 + rng.Intn(3)
+		s := relation.New("B1", "B2", "C")
+		for b1 := 0; b1 < 3; b1++ {
+			for b2 := 0; b2 < 3; b2++ {
+				d := rng.Intn(deg + 1)
+				for k := 0; k < d; k++ {
+					s.Insert(int64(b1), int64(b2), int64(100*b1+10*b2+k))
+				}
+			}
+		}
+		h := newHarness(t)
+		rr := h.input(r, 9)
+		ss := h.input(s, s.Len()+2)
+		out := DegJoin(h.c, rr, ss, deg)
+		mustEqual(t, h.run(out), r.NaturalJoin(s), "multi-column degree-bounded join")
+	}
+}
+
+func TestSemijoinMultiColumn(t *testing.T) {
+	r := relation.FromTuples([]string{"A", "B1", "B2"},
+		relation.Tuple{1, 1, 1}, relation.Tuple{2, 1, 2}, relation.Tuple{3, 2, 1})
+	s := relation.FromTuples([]string{"B1", "B2", "C"},
+		relation.Tuple{1, 1, 5}, relation.Tuple{2, 1, 6})
+	h := newHarness(t)
+	rr := h.input(r, 4)
+	ss := h.input(s, 3)
+	out := Semijoin(h.c, rr, ss)
+	mustEqual(t, h.run(out), r.SemiJoin(s), "multi-column semijoin")
+}
+
+func TestNegativeValues(t *testing.T) {
+	// Negative keys and payloads must survive sorting, projection,
+	// aggregation, and joins (the sentinel is far below int64 range used
+	// here).
+	r := relation.FromTuples([]string{"A", "B"},
+		relation.Tuple{-5, -10}, relation.Tuple{-5, 3}, relation.Tuple{7, -10})
+	h := newHarness(t)
+	rr := h.input(r, 4)
+	out := Aggregate(h.c, rr, []string{"A"}, relation.AggMin, "B", "m")
+	want := r.Aggregate([]string{"A"}, relation.AggMin, "B", "m")
+	mustEqual(t, h.run(out), want, "aggregate over negatives")
+
+	h2 := newHarness(t)
+	s := relation.FromTuples([]string{"B", "C"}, relation.Tuple{-10, 1}, relation.Tuple{3, 2})
+	rr2 := h2.input(r, 4)
+	ss2 := h2.input(s, 3)
+	out2 := PKJoin(h2.c, rr2, ss2)
+	mustEqual(t, h2.run(out2), r.NaturalJoin(s), "pk join over negatives")
+}
+
+func TestEmptyInputs(t *testing.T) {
+	empty := relation.New("A", "B")
+	other := relation.FromTuples([]string{"B", "C"}, relation.Tuple{1, 2})
+
+	h := newHarness(t)
+	rr := h.input(empty, 2)
+	ss := h.input(other, 2)
+	out := PKJoin(h.c, rr, ss)
+	if got := h.run(out); got.Len() != 0 {
+		t.Fatalf("empty ⋈ s = %v", got)
+	}
+
+	h2 := newHarness(t)
+	rr2 := h2.input(empty, 2)
+	out2 := Project(h2.c, rr2, []string{"A"})
+	if got := h2.run(out2); got.Len() != 0 {
+		t.Fatalf("Π(empty) = %v", got)
+	}
+
+	h3 := newHarness(t)
+	rr3 := h3.input(empty, 3)
+	out3 := Aggregate(h3.c, rr3, []string{"A"}, relation.AggCount, "", "count")
+	if got := h3.run(out3); got.Len() != 0 {
+		t.Fatalf("count(empty) = %v", got)
+	}
+}
+
+func TestDegJoinDegreeOne(t *testing.T) {
+	// degBound = 1 with extra attributes routes to the pk join.
+	r := relation.FromTuples([]string{"A", "B"}, relation.Tuple{1, 5}, relation.Tuple{2, 6})
+	s := relation.FromTuples([]string{"B", "C"}, relation.Tuple{5, 50})
+	h := newHarness(t)
+	rr := h.input(r, 2)
+	ss := h.input(s, 2)
+	out := DegJoin(h.c, rr, ss, 1)
+	mustEqual(t, h.run(out), r.NaturalJoin(s), "deg-1 join")
+}
+
+func TestUnionWithSelfOverlap(t *testing.T) {
+	a := relation.FromTuples([]string{"A"}, relation.Tuple{1}, relation.Tuple{2})
+	h := newHarness(t)
+	ra := h.input(a, 3)
+	out := Union(h.c, ra, ra) // same wires twice: dedupe must collapse
+	mustEqual(t, h.run(out), a, "self union")
+}
+
+// TestOrderPositionsAreDense: order values of real tuples are exactly
+// 1..k even with dummies interleaved in the input.
+func TestOrderPositionsAreDense(t *testing.T) {
+	rel := relation.FromTuples([]string{"A"}, relation.Tuple{30}, relation.Tuple{10}, relation.Tuple{20})
+	h := newHarness(t)
+	r := h.input(rel, 7) // 4 dummy slots
+	out := Order(h.c, r, []string{"A"})
+	got := h.run(out)
+	want := relation.FromTuples([]string{"A", relation.OrderAttr},
+		relation.Tuple{10, 1}, relation.Tuple{20, 2}, relation.Tuple{30, 3})
+	mustEqual(t, got, want, "dense order positions")
+}

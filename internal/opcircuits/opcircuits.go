@@ -1,0 +1,744 @@
+// Package opcircuits implements the paper's per-operator oblivious
+// circuits (Section 5 and 6.3) over fixed-capacity slot bundles:
+// selection, projection (Algorithm 3), union, aggregation (Algorithm 5),
+// ordering, truncation, primary-key join (Algorithm 6), semijoin,
+// degree-bounded join (Algorithm 7), and cross product, plus helpers to
+// pack relations into input wires and decode outputs.
+//
+// An ORel is the oblivious counterpart of a bounded relational-circuit
+// wire: a schema plus a fixed number of slots, each carrying a validity
+// wire (the paper's dummy attribute Z) and one wire per column. Every
+// operator's circuit size matches the bounded-wire cost model of Section
+// 4.3 up to polylogarithmic factors, which is what Theorem 4 needs.
+package opcircuits
+
+import (
+	"fmt"
+	"math"
+
+	"circuitql/internal/boolcircuit"
+	"circuitql/internal/expr"
+	"circuitql/internal/relation"
+	"circuitql/internal/scan"
+	"circuitql/internal/sortnet"
+)
+
+// Sentinel is the reserved value '?' of Section 5.3: it never appears in
+// the data domain. Packing rejects relations containing it.
+const Sentinel int64 = math.MinInt64 / 2
+
+// ORel is an oblivious relation: a schema and a fixed-capacity bundle of
+// slots. Capacity is data independent; unused slots are dummies.
+type ORel struct {
+	Schema []string
+	Slots  []boolcircuit.Slot
+}
+
+// Capacity returns the number of slots.
+func (r ORel) Capacity() int { return len(r.Slots) }
+
+// Width returns the number of columns.
+func (r ORel) Width() int { return len(r.Schema) }
+
+// ColIdx returns the position of attribute a.
+func (r ORel) ColIdx(a string) int {
+	for i, s := range r.Schema {
+		if s == a {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("opcircuits: attribute %q not in schema %v", a, r.Schema))
+}
+
+func (r ORel) colIdxs(attrs []string) []int {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		out[i] = r.ColIdx(a)
+	}
+	return out
+}
+
+// NewInput allocates a fresh input ORel of the given capacity. Wires are
+// allocated slot by slot: valid, then columns in schema order — the
+// layout Pack produces.
+func NewInput(c *boolcircuit.Circuit, schema []string, capacity int) ORel {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := ORel{Schema: append([]string(nil), schema...), Slots: make([]boolcircuit.Slot, capacity)}
+	for i := range r.Slots {
+		s := boolcircuit.Slot{Valid: c.Input(), Cols: make([]int, len(schema))}
+		for j := range s.Cols {
+			s.Cols[j] = c.Input()
+		}
+		r.Slots[i] = s
+	}
+	return r
+}
+
+// Pack encodes rel into the input layout of NewInput(schema, capacity):
+// |rel| real slots followed by dummy padding. rel's attribute set must
+// equal the schema.
+func Pack(rel *relation.Relation, schema []string, capacity int) ([]int64, error) {
+	if rel.Len() > capacity {
+		return nil, fmt.Errorf("opcircuits: relation has %d tuples, capacity %d", rel.Len(), capacity)
+	}
+	pos := make([]int, len(schema))
+	for i, a := range schema {
+		if !rel.HasAttr(a) {
+			return nil, fmt.Errorf("opcircuits: relation lacks attribute %q", a)
+		}
+		pos[i] = rel.AttrPos(a)
+	}
+	out := make([]int64, 0, capacity*(1+len(schema)))
+	var err error
+	rel.Each(func(t relation.Tuple) {
+		out = append(out, 1)
+		for _, p := range pos {
+			if t[p] == Sentinel {
+				err = fmt.Errorf("opcircuits: value collides with the reserved sentinel")
+			}
+			out = append(out, t[p])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := rel.Len(); i < capacity; i++ {
+		out = append(out, 0)
+		for range schema {
+			out = append(out, 0)
+		}
+	}
+	return out, nil
+}
+
+// MarkOutputs marks every wire of r as a circuit output (valid, then
+// columns, slot by slot) and returns the number of wires marked.
+func MarkOutputs(c *boolcircuit.Circuit, r ORel) int {
+	n := 0
+	for _, s := range r.Slots {
+		c.MarkOutput(s.Valid)
+		n++
+		for _, w := range s.Cols {
+			c.MarkOutput(w)
+			n++
+		}
+	}
+	return n
+}
+
+// Decode reconstructs the relation from evaluated output values laid out
+// as MarkOutputs produced them.
+func Decode(schema []string, vals []int64) (*relation.Relation, error) {
+	w := 1 + len(schema)
+	if len(vals)%w != 0 {
+		return nil, fmt.Errorf("opcircuits: %d values not a multiple of slot width %d", len(vals), w)
+	}
+	out := relation.New(schema...)
+	for i := 0; i < len(vals); i += w {
+		if vals[i] == 0 {
+			continue
+		}
+		out.Insert(vals[i+1 : i+w]...)
+	}
+	return out, nil
+}
+
+// backend lowers expr ASTs onto circuit wires for one slot.
+type backend struct {
+	c   *boolcircuit.Circuit
+	col func(string) int
+}
+
+// Attr implements expr.Backend.
+func (b backend) Attr(name string) int { return b.col(name) }
+
+// Const implements expr.Backend.
+func (b backend) Const(v int64) int { return b.c.Const(v) }
+
+// Bin implements expr.Backend.
+func (b backend) Bin(op expr.Op, l, r int) int {
+	c := b.c
+	switch op {
+	case expr.OpAdd:
+		return c.Add(l, r)
+	case expr.OpSub:
+		return c.Sub(l, r)
+	case expr.OpMul:
+		return c.Mul(l, r)
+	case expr.OpMod:
+		return c.ModC(l, r)
+	case expr.OpEq:
+		return c.Eq(l, r)
+	case expr.OpNe:
+		return c.Ne(l, r)
+	case expr.OpLt:
+		return c.Lt(l, r)
+	case expr.OpLe:
+		return c.Le(l, r)
+	case expr.OpGt:
+		return c.Gt(l, r)
+	case expr.OpGe:
+		return c.Ge(l, r)
+	case expr.OpAnd:
+		return c.And(c.Bool(l), c.Bool(r))
+	case expr.OpOr:
+		return c.Or(c.Bool(l), c.Bool(r))
+	}
+	panic(fmt.Sprintf("opcircuits: cannot lower op %v", op))
+}
+
+// Not implements expr.Backend.
+func (b backend) Not(x int) int { return b.c.NotB(b.c.Bool(x)) }
+
+// CompileExpr lowers e over the columns of one slot of r.
+func CompileExpr(c *boolcircuit.Circuit, r ORel, s boolcircuit.Slot, e expr.Expr) int {
+	return expr.Compile(e, backend{c: c, col: func(a string) int { return s.Cols[r.ColIdx(a)] }})
+}
+
+// Select masks the validity of slots failing the predicate (Section 5's
+// trivial selection circuit: every tuple stays, failures become dummies).
+func Select(c *boolcircuit.Circuit, r ORel, pred expr.Expr) ORel {
+	out := ORel{Schema: r.Schema, Slots: make([]boolcircuit.Slot, len(r.Slots))}
+	for i, s := range r.Slots {
+		p := c.Bool(CompileExpr(c, r, s, pred))
+		out.Slots[i] = boolcircuit.Slot{Valid: c.And(s.Valid, p), Cols: s.Cols}
+	}
+	return out
+}
+
+// MapCol is one output column of a Map.
+type MapCol struct {
+	As string
+	E  expr.Expr
+}
+
+// Map computes one expression per output column for every slot (the ρ
+// operator).
+func Map(c *boolcircuit.Circuit, r ORel, cols []MapCol) ORel {
+	schema := make([]string, len(cols))
+	for i, mc := range cols {
+		schema[i] = mc.As
+	}
+	out := ORel{Schema: schema, Slots: make([]boolcircuit.Slot, len(r.Slots))}
+	for i, s := range r.Slots {
+		ns := boolcircuit.Slot{Valid: s.Valid, Cols: make([]int, len(cols))}
+		for j, mc := range cols {
+			ns.Cols[j] = CompileExpr(c, r, s, mc.E)
+		}
+		out.Slots[i] = ns
+	}
+	return out
+}
+
+// SortBy sorts the slots ascending by the named attributes, dummies last.
+func SortBy(c *boolcircuit.Circuit, r ORel, by []string) ORel {
+	sorted := sortnet.SortNetwork(c, r.Slots, sortnet.KeyLess(r.colIdxs(by)))
+	return ORel{Schema: r.Schema, Slots: sorted}
+}
+
+// Order implements τ_by: sort by the attributes and append the
+// relation.OrderAttr column holding 1-based positions. Because dummies
+// sort last, every real tuple receives its correct position (Section 5).
+func Order(c *boolcircuit.Circuit, r ORel, by []string) ORel {
+	sorted := SortBy(c, r, by)
+	out := ORel{Schema: append(append([]string(nil), r.Schema...), relation.OrderAttr),
+		Slots: make([]boolcircuit.Slot, len(sorted.Slots))}
+	for i, s := range sorted.Slots {
+		cols := append(append([]int(nil), s.Cols...), c.Const(int64(i+1)))
+		out.Slots[i] = boolcircuit.Slot{Valid: s.Valid, Cols: cols}
+	}
+	return out
+}
+
+// Project implements Π_attrs by Algorithm 3: drop the other columns,
+// sort by the kept columns, and dummy out every tuple equal to its
+// predecessor.
+func Project(c *boolcircuit.Circuit, r ORel, attrs []string) ORel {
+	idx := r.colIdxs(attrs)
+	narrow := ORel{Schema: append([]string(nil), attrs...), Slots: make([]boolcircuit.Slot, len(r.Slots))}
+	for i, s := range r.Slots {
+		cols := make([]int, len(idx))
+		for j, k := range idx {
+			cols[j] = s.Cols[k]
+		}
+		narrow.Slots[i] = boolcircuit.Slot{Valid: s.Valid, Cols: cols}
+	}
+	sorted := SortBy(c, narrow, attrs)
+	keys := scan.MaskKeys(c, sorted.Slots, seq(len(attrs)), Sentinel)
+	out := ORel{Schema: narrow.Schema, Slots: make([]boolcircuit.Slot, len(sorted.Slots))}
+	for i, s := range sorted.Slots {
+		valid := s.Valid
+		if i > 0 {
+			dup := wiresEqual(c, keys[i-1], keys[i])
+			valid = c.And(valid, c.NotB(dup))
+		}
+		out.Slots[i] = boolcircuit.Slot{Valid: valid, Cols: s.Cols}
+	}
+	return out
+}
+
+// Union concatenates the two slot bundles (aligning s's columns to r's
+// schema) and removes duplicates with the projection circuit.
+func Union(c *boolcircuit.Circuit, r, s ORel) ORel {
+	perm := s.colIdxs(r.Schema)
+	slots := append([]boolcircuit.Slot(nil), r.Slots...)
+	for _, sl := range s.Slots {
+		cols := make([]int, len(perm))
+		for i, p := range perm {
+			cols[i] = sl.Cols[p]
+		}
+		slots = append(slots, boolcircuit.Slot{Valid: sl.Valid, Cols: cols})
+	}
+	return Project(c, ORel{Schema: r.Schema, Slots: slots}, r.Schema)
+}
+
+// Truncate implements the truncation operation of Section 5.3: sort
+// dummies last and keep the first m slots. The caller asserts at most m
+// real tuples exist (the circuit constructions guarantee it).
+func Truncate(c *boolcircuit.Circuit, r ORel, m int) ORel {
+	if m < 1 {
+		m = 1
+	}
+	if m >= len(r.Slots) {
+		return r
+	}
+	sorted := sortnet.SortNetwork(c, r.Slots, sortnet.ValidFirstLess())
+	return ORel{Schema: r.Schema, Slots: sorted[:m]}
+}
+
+// Aggregate implements Π_{group, agg(over) as as} by Algorithm 5: sort by
+// the group, run the agg-scan segmented by the group, and keep the last
+// tuple of every segment.
+func Aggregate(c *boolcircuit.Circuit, r ORel, group []string, kind relation.AggKind, over, as string) ORel {
+	sorted := SortBy(c, r, group)
+	gidx := sorted.colIdxs(group)
+	keys := scan.MaskKeys(c, sorted.Slots, gidx, Sentinel)
+
+	// Per-slot aggregation input, neutral for dummies.
+	vals := make([]int, len(sorted.Slots))
+	var op scan.Op
+	for i, s := range sorted.Slots {
+		switch kind {
+		case relation.AggCount:
+			vals[i] = c.Mux(s.Valid, c.Const(1), c.Const(0))
+			op = scan.Add
+		case relation.AggSum:
+			vals[i] = c.Mux(s.Valid, s.Cols[sorted.ColIdx(over)], c.Const(0))
+			op = scan.Add
+		case relation.AggMin:
+			vals[i] = c.Mux(s.Valid, s.Cols[sorted.ColIdx(over)], c.Const(math.MaxInt64))
+			op = scan.Min
+		case relation.AggMax:
+			vals[i] = c.Mux(s.Valid, s.Cols[sorted.ColIdx(over)], c.Const(math.MinInt64+1))
+			op = scan.Max
+		default:
+			panic(fmt.Sprintf("opcircuits: unknown aggregate %v", kind))
+		}
+	}
+	scanned := scan.SegmentedScan(c, keys, vals, op)
+
+	schema := append(append([]string(nil), group...), as)
+	out := ORel{Schema: schema, Slots: make([]boolcircuit.Slot, len(sorted.Slots))}
+	for i, s := range sorted.Slots {
+		valid := s.Valid
+		if i+1 < len(sorted.Slots) {
+			sameNext := wiresEqual(c, keys[i], keys[i+1])
+			// The successor belongs to the same segment: it supersedes us.
+			valid = c.And(valid, c.NotB(c.And(sameNext, sorted.Slots[i+1].Valid)))
+		}
+		cols := make([]int, 0, len(group)+1)
+		for _, g := range gidx {
+			cols = append(cols, s.Cols[g])
+		}
+		cols = append(cols, scanned[i])
+		out.Slots[i] = boolcircuit.Slot{Valid: valid, Cols: cols}
+	}
+	return out
+}
+
+// common returns the shared attributes in r-schema order.
+func common(r, s ORel) []string {
+	var out []string
+	for _, a := range r.Schema {
+		for _, b := range s.Schema {
+			if a == b {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// extras returns s's attributes not in r.
+func extras(r, s ORel) []string {
+	var out []string
+	for _, b := range s.Schema {
+		found := false
+		for _, a := range r.Schema {
+			if a == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// PKJoin implements the primary-key join circuit (Algorithm 6): r ⋈ s
+// where the common attributes form a key of s (at most one s-tuple per
+// key). The output has r's capacity and schema r ∪ s.
+func PKJoin(c *boolcircuit.Circuit, r, s ORel) ORel {
+	f := common(r, s)
+	if len(f) == 0 {
+		panic("opcircuits: PKJoin requires common attributes")
+	}
+	ex := extras(r, s)
+	return pkCopy(c, r, s, f, ex)
+}
+
+// Semijoin computes r ⋉ s on their common attributes: r's schema, r's
+// capacity, validity masked by matching.
+func Semijoin(c *boolcircuit.Circuit, r, s ORel) ORel {
+	f := common(r, s)
+	if len(f) == 0 {
+		panic("opcircuits: Semijoin requires common attributes")
+	}
+	key := Project(c, s, f) // distinct -> the common attrs are its key
+	joined := pkCopy(c, r, key, f, nil)
+	return ORel{Schema: r.Schema, Slots: joined.Slots}
+}
+
+// pkCopy is the shared engine of PKJoin and Semijoin: lines 1-10 of
+// Algorithm 6 with a presence marker as part of the copied payload. s's
+// common attributes must be a key of s. The output schema is r.Schema
+// followed by payload attrs (payload ⊆ s's extra attributes); output
+// capacity is r's.
+func pkCopy(c *boolcircuit.Circuit, r, s ORel, f, payload []string) ORel {
+	rIdx := r.colIdxs(f)
+	sIdx := s.colIdxs(f)
+	pIdx := s.colIdxs(payload)
+	width := len(r.Schema)
+	zero := c.Const(0)
+	sentinel := c.Const(Sentinel)
+
+	// J's slot layout: [r columns..., marker, payload...] plus an isR flag
+	// appended as the last column for ordering (s-rows first per key).
+	mk := func(rCols []int, marker int, pay []int, isR int, valid int) boolcircuit.Slot {
+		cols := make([]int, 0, width+2+len(payload))
+		cols = append(cols, rCols...)
+		cols = append(cols, marker)
+		cols = append(cols, pay...)
+		cols = append(cols, isR)
+		return boolcircuit.Slot{Valid: valid, Cols: cols}
+	}
+
+	var slots []boolcircuit.Slot
+	one := c.Const(1)
+	for _, sl := range s.Slots {
+		rCols := make([]int, width)
+		for i := range rCols {
+			rCols[i] = sentinel
+		}
+		for i := range f {
+			rCols[rIdx[i]] = sl.Cols[sIdx[i]]
+		}
+		pay := make([]int, len(pIdx))
+		for i, p := range pIdx {
+			pay[i] = sl.Cols[p]
+		}
+		slots = append(slots, mk(rCols, one, pay, zero, sl.Valid))
+	}
+	for _, rl := range r.Slots {
+		pay := make([]int, len(pIdx))
+		for i := range pay {
+			pay[i] = sentinel
+		}
+		slots = append(slots, mk(rl.Cols, zero, pay, one, rl.Valid))
+	}
+
+	// Line 4: sort by (key, s-first), dummies last.
+	keyIdx := append(append([]int(nil), rIdx...), width+1+len(payload)) // key cols + isR
+	sorted := sortnet.SortNetwork(c, slots, sortnet.KeyLess(keyIdx))
+
+	// Line 5: segmented copy-scan of (marker, payload) by key.
+	keys := scan.MaskKeys(c, sorted, rIdx, Sentinel)
+	vecs := make([][]int, len(sorted))
+	for i, sl := range sorted {
+		vec := make([]int, 0, 1+len(payload))
+		vec = append(vec, sl.Cols[width])
+		vec = append(vec, sl.Cols[width+1:width+1+len(payload)]...)
+		vecs[i] = vec
+	}
+	copied := scan.SegmentedScanVec(c, keys, vecs, func(c *boolcircuit.Circuit, a, b []int) []int {
+		// The s-row (marker 1) sorts first in its segment; later rows
+		// inherit its payload. op(x, y) keeps x unless y itself carries
+		// a marker.
+		out := make([]int, len(a))
+		cond := c.Bool(b[0])
+		for i := range a {
+			out[i] = c.Mux(cond, b[i], a[i])
+		}
+		return out
+	})
+
+	// Lines 6-9: r-rows with a copied marker survive; everything else is
+	// dummy. Truncate to r's capacity.
+	outSchema := append(append([]string(nil), r.Schema...), payload...)
+	outSlots := make([]boolcircuit.Slot, len(sorted))
+	for i, sl := range sorted {
+		isR := sl.Cols[width+1+len(payload)]
+		valid := c.And(sl.Valid, c.And(c.Bool(isR), c.Bool(copied[i][0])))
+		cols := make([]int, 0, width+len(payload))
+		cols = append(cols, sl.Cols[:width]...)
+		cols = append(cols, copied[i][1:]...)
+		outSlots[i] = boolcircuit.Slot{Valid: valid, Cols: cols}
+	}
+	return Truncate(c, ORel{Schema: outSchema, Slots: outSlots}, r.Capacity())
+}
+
+// CrossJoin computes the cartesian product (no common attributes),
+// capacity |r|·|s| — the naive quadratic circuit, matching the cost
+// model's M·N + N' with N = N' (no degree bound available).
+func CrossJoin(c *boolcircuit.Circuit, r, s ORel) ORel {
+	ex := extras(r, s)
+	exIdx := s.colIdxs(ex)
+	out := ORel{Schema: append(append([]string(nil), r.Schema...), ex...)}
+	for _, rl := range r.Slots {
+		for _, sl := range s.Slots {
+			cols := append([]int(nil), rl.Cols...)
+			for _, p := range exIdx {
+				cols = append(cols, sl.Cols[p])
+			}
+			out.Slots = append(out.Slots, boolcircuit.Slot{
+				Valid: c.And(rl.Valid, sl.Valid),
+				Cols:  cols,
+			})
+		}
+	}
+	return out
+}
+
+// DegJoin implements the degree-bounded join circuit (Algorithm 7):
+// r ⋈ s with deg_F(s) ≤ degBound on the common attributes F. Output
+// capacity is |r|·degBound; circuit size Õ(M·degBound + N').
+func DegJoin(c *boolcircuit.Circuit, r, s ORel, degBound int) ORel {
+	f := common(r, s)
+	if len(f) == 0 {
+		return CrossJoin(c, r, s)
+	}
+	if degBound < 1 {
+		degBound = 1
+	}
+	ex := extras(r, s)
+	if degBound == 1 || len(ex) == 0 {
+		if len(ex) == 0 {
+			// s ⊆ r's attributes: the join is a semijoin.
+			return Semijoin(c, r, s)
+		}
+		return PKJoin(c, r, s)
+	}
+	m := r.Capacity()
+
+	// Line 1: keep only s-tuples that join with r.
+	s1 := Semijoin(c, s, r)
+	// Line 2: sort by F and truncate to M·degBound.
+	s1 = SortBy(c, s1, f)
+	s1 = Truncate(c, s1, m*degBound)
+
+	// Choose n with 2^n + 1 ≥ degBound.
+	n := 0
+	for (1<<uint(n))+1 < degBound {
+		n++
+	}
+
+	fIdx := s1.colIdxs(f)
+	exIdx := s1.colIdxs(ex)
+	w := len(ex)
+
+	// state: per slot, key cols + item list (each item = w wires).
+	type slotState struct {
+		valid int
+		key   []int
+		items [][]int
+	}
+	mkKey := func(sl boolcircuit.Slot, idx []int) []int {
+		out := make([]int, len(idx))
+		for i, k := range idx {
+			out[i] = sl.Cols[k]
+		}
+		return out
+	}
+	state := make([]slotState, len(s1.Slots))
+	for i, sl := range s1.Slots {
+		state[i] = slotState{valid: sl.Valid, key: mkKey(sl, fIdx), items: [][]int{mkKey(sl, exIdx)}}
+	}
+
+	// Conversion between state and sortable slots (items flattened).
+	toSlots := func(st []slotState) []boolcircuit.Slot {
+		out := make([]boolcircuit.Slot, len(st))
+		for i, s := range st {
+			cols := append([]int(nil), s.key...)
+			for _, it := range s.items {
+				cols = append(cols, it...)
+			}
+			out[i] = boolcircuit.Slot{Valid: s.valid, Cols: cols}
+		}
+		return out
+	}
+	fromSlots := func(slots []boolcircuit.Slot, itemCount int) []slotState {
+		out := make([]slotState, len(slots))
+		for i, sl := range slots {
+			st := slotState{valid: sl.Valid, key: sl.Cols[:len(f)]}
+			rest := sl.Cols[len(f):]
+			for k := 0; k < itemCount; k++ {
+				st.items = append(st.items, rest[k*w:(k+1)*w])
+			}
+			out[i] = st
+		}
+		return out
+	}
+	keyIdxLocal := seq(len(f))
+
+	maskedKeys := func(st []slotState) [][]int {
+		slots := make([]boolcircuit.Slot, len(st))
+		for i, s := range st {
+			slots[i] = boolcircuit.Slot{Valid: s.valid, Cols: s.key}
+		}
+		return scan.MaskKeys(c, slots, keyIdxLocal, Sentinel)
+	}
+
+	// Lines 3-15: n halving levels.
+	for level := 1; level <= n; level++ {
+		keys := maskedKeys(state)
+		next := make([]slotState, len(state))
+		for j := 0; j < len(state); j++ {
+			cur := state[j]
+			if j%2 == 1 { // right element of a pair: may absorb the left
+				left := state[j-1]
+				cond := c.And(wiresEqual(c, keys[j-1], keys[j]), cur.valid)
+				items := make([][]int, 0, 2*len(cur.items))
+				for k := range cur.items {
+					item := make([]int, w)
+					for x := 0; x < w; x++ {
+						item[x] = c.Mux(cond, left.items[k][x], cur.items[k][x])
+					}
+					items = append(items, item)
+				}
+				items = append(items, cur.items...)
+				next[j] = slotState{valid: cur.valid, key: cur.key, items: items}
+			} else { // left element: duplicate own items; dummy if absorbed
+				items := make([][]int, 0, 2*len(cur.items))
+				items = append(items, cur.items...)
+				items = append(items, cur.items...)
+				valid := cur.valid
+				if j+1 < len(state) {
+					absorbed := c.And(wiresEqual(c, keys[j], keys[j+1]), state[j+1].valid)
+					valid = c.And(valid, c.NotB(absorbed))
+				}
+				next[j] = slotState{valid: valid, key: cur.key, items: items}
+			}
+		}
+		state = next
+		// Line 14-15: re-sort by key and truncate.
+		ni := (1<<uint(n-level) + 1) * m
+		if ni > len(state) {
+			ni = len(state)
+		}
+		slots := toSlots(state)
+		sorted := sortnet.SortNetwork(c, slots, sortnet.KeyLess(keyIdxLocal))
+		state = fromSlots(sorted[:ni], 1<<uint(level))
+	}
+
+	// Lines 16-24: final adjacent combination, making F a key.
+	{
+		keys := maskedKeys(state)
+		next := make([]slotState, len(state))
+		for j := range state {
+			cur := state[j]
+			items := make([][]int, 0, 2*len(cur.items))
+			if j+1 < len(state) {
+				cond := c.And(wiresEqual(c, keys[j], keys[j+1]), state[j+1].valid)
+				for k := range cur.items {
+					items = append(items, cur.items[k])
+				}
+				for k := range cur.items {
+					item := make([]int, w)
+					for x := 0; x < w; x++ {
+						item[x] = c.Mux(cond, state[j+1].items[k][x], cur.items[k][x])
+					}
+					items = append(items, item)
+				}
+			} else {
+				items = append(items, cur.items...)
+				items = append(items, cur.items...)
+			}
+			valid := cur.valid
+			if j > 0 {
+				absorbed := wiresEqual(c, keys[j-1], keys[j])
+				valid = c.And(valid, c.NotB(absorbed))
+			}
+			next[j] = slotState{valid: valid, key: cur.key, items: items}
+		}
+		state = next
+	}
+	itemCount := 1 << uint(n+1)
+
+	// Line 25: truncate to M (F is now a key).
+	{
+		slots := toSlots(state)
+		sorted := sortnet.SortNetwork(c, slots, sortnet.ValidFirstLess())
+		if m < len(sorted) {
+			sorted = sorted[:m]
+		}
+		state = fromSlots(sorted, itemCount)
+	}
+
+	// Line 26: primary-key join r with the combined s.
+	itemAttrs := make([]string, 0, itemCount*w)
+	for k := 0; k < itemCount; k++ {
+		for x := 0; x < w; x++ {
+			itemAttrs = append(itemAttrs, fmt.Sprintf("\x00item%d_%d", k, x))
+		}
+	}
+	sComb := ORel{Schema: append(append([]string(nil), f...), itemAttrs...), Slots: toSlots(state)}
+	joined := pkCopy(c, r, sComb, f, itemAttrs)
+
+	// Lines 27-33: unnest items and deduplicate.
+	outSchema := append(append([]string(nil), r.Schema...), ex...)
+	rWidth := len(r.Schema)
+	var outSlots []boolcircuit.Slot
+	for _, sl := range joined.Slots {
+		for k := 0; k < itemCount; k++ {
+			cols := make([]int, 0, rWidth+w)
+			cols = append(cols, sl.Cols[:rWidth]...)
+			cols = append(cols, sl.Cols[rWidth+k*w:rWidth+(k+1)*w]...)
+			outSlots = append(outSlots, boolcircuit.Slot{Valid: sl.Valid, Cols: cols})
+		}
+	}
+	unnested := ORel{Schema: outSchema, Slots: outSlots}
+	deduped := Project(c, unnested, outSchema)
+	return Truncate(c, deduped, m*degBound)
+}
+
+// wiresEqual is the conjunction of per-wire equality.
+func wiresEqual(c *boolcircuit.Circuit, a, b []int) int {
+	acc := c.Const(1)
+	for i := range a {
+		acc = c.And(acc, c.Eq(a[i], b[i]))
+	}
+	return acc
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

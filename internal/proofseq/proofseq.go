@@ -1,0 +1,276 @@
+// Package proofseq implements Shannon-flow inequality proof sequences
+// (Sections 3.3-3.4): sequences of weighted applications of the four
+// rules
+//
+//	(R1) monotonicity   m_{X,Y}: h(Y) ≥ h(X)            for X ⊆ Y
+//	(R2) submodularity  s_{I,J}: h(I|I∩J) ≥ h(I∪J|J)
+//	(R3) composition    c_{X,Y}: h(X) + h(Y|X) ≥ h(Y)
+//	(R4) decomposition  d_{Y,X}: h(Y) ≥ h(X) + h(Y|X)
+//
+// that transform the vector δ of a Shannon-flow inequality ⟨δ,h⟩ ≥ ⟨λ,h⟩
+// into a vector dominating λ, with every intermediate vector
+// non-negative. The package provides the rule-vector semantics, an exact
+// verifier, and a builder that constructs a proof sequence for the
+// Shannon-flow inequality returned by the polymatroid-bound LP, guided by
+// the LP's dual witness (the multiset of elemental inequalities the dual
+// uses). PANDA-C (package panda) consumes these sequences as its query
+// plan skeleton.
+package proofseq
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+
+	"circuitql/internal/bound"
+	"circuitql/internal/query"
+)
+
+// Pair indexes a conditional polymatroid term h(Y|X); a plain term h(Y)
+// is the pair (∅, Y).
+type Pair struct {
+	X, Y query.VarSet
+}
+
+// Label renders the pair as h(Y|X).
+func (p Pair) Label(names []string) string {
+	if p.X.Empty() {
+		return fmt.Sprintf("h(%s)", p.Y.Label(names))
+	}
+	return fmt.Sprintf("h(%s|%s)", p.Y.Label(names), p.X.Label(names))
+}
+
+// Vec is a sparse non-negative vector over conditional terms (the δ and λ
+// of a Shannon-flow inequality).
+type Vec map[Pair]*big.Rat
+
+// Clone deep-copies the vector.
+func (v Vec) Clone() Vec {
+	c := make(Vec, len(v))
+	for p, w := range v {
+		c[p] = new(big.Rat).Set(w)
+	}
+	return c
+}
+
+// Get returns the weight of pair p (zero if absent).
+func (v Vec) Get(p Pair) *big.Rat {
+	if w, ok := v[p]; ok {
+		return w
+	}
+	return new(big.Rat)
+}
+
+// add accumulates w onto pair p, deleting exact zeros.
+func (v Vec) add(p Pair, w *big.Rat) {
+	cur, ok := v[p]
+	if !ok {
+		cur = new(big.Rat)
+		v[p] = cur
+	}
+	cur.Add(cur, w)
+	if cur.Sign() == 0 {
+		delete(v, p)
+	}
+}
+
+// Dominates reports whether v ≥ o element-wise.
+func (v Vec) Dominates(o Vec) bool {
+	for p, w := range o {
+		if v.Get(p).Cmp(w) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector deterministically.
+func (v Vec) String(names []string) string {
+	keys := make([]Pair, 0, len(v))
+	for p := range v {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Y != keys[j].Y {
+			return keys[i].Y < keys[j].Y
+		}
+		return keys[i].X < keys[j].X
+	})
+	var b strings.Builder
+	for i, p := range keys {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		fmt.Fprintf(&b, "%s·%s", v[p].RatString(), p.Label(names))
+	}
+	return b.String()
+}
+
+// StepKind enumerates the four proof rules.
+type StepKind int
+
+// The four rules of Section 3.4.
+const (
+	Submod StepKind = iota // s_{I,J}
+	Mono                   // m_{X,Y}
+	Comp                   // c_{X,Y}
+	Decomp                 // d_{Y,X}
+)
+
+// String returns the rule mnemonic.
+func (k StepKind) String() string {
+	switch k {
+	case Submod:
+		return "s"
+	case Mono:
+		return "m"
+	case Comp:
+		return "c"
+	case Decomp:
+		return "d"
+	}
+	return "?"
+}
+
+// Step is one weighted proof step. For Submod, I and J carry the rule
+// parameters; for the other three kinds, X and Y do.
+type Step struct {
+	Kind   StepKind
+	I, J   query.VarSet // Submod only
+	X, Y   query.VarSet // Mono, Comp, Decomp
+	Weight *big.Rat
+}
+
+// Consumes returns the pairs the step removes weight from.
+func (s Step) Consumes() []Pair {
+	switch s.Kind {
+	case Submod:
+		return []Pair{{X: s.I.Intersect(s.J), Y: s.I}}
+	case Mono, Decomp:
+		return []Pair{{X: 0, Y: s.Y}}
+	case Comp:
+		return []Pair{{X: 0, Y: s.X}, {X: s.X, Y: s.Y}}
+	}
+	return nil
+}
+
+// Produces returns the pairs the step adds weight to.
+func (s Step) Produces() []Pair {
+	switch s.Kind {
+	case Submod:
+		return []Pair{{X: s.J, Y: s.I.Union(s.J)}}
+	case Mono:
+		return []Pair{{X: 0, Y: s.X}}
+	case Comp:
+		return []Pair{{X: 0, Y: s.Y}}
+	case Decomp:
+		return []Pair{{X: 0, Y: s.X}, {X: s.X, Y: s.Y}}
+	}
+	return nil
+}
+
+// validate checks the structural side conditions of the rule.
+func (s Step) validate() error {
+	if s.Weight == nil || s.Weight.Sign() <= 0 {
+		return fmt.Errorf("proofseq: step weight must be positive")
+	}
+	switch s.Kind {
+	case Submod:
+		if s.I.SubsetOf(s.J) {
+			return fmt.Errorf("proofseq: submodularity with I ⊆ J is trivial")
+		}
+	case Mono:
+		if !s.X.SubsetOf(s.Y) || s.X == s.Y || s.X.Empty() {
+			return fmt.Errorf("proofseq: monotonicity needs ∅ ≠ X ⊂ Y")
+		}
+	case Comp, Decomp:
+		if !s.X.SubsetOf(s.Y) || s.X == s.Y || s.X.Empty() {
+			return fmt.Errorf("proofseq: composition/decomposition needs ∅ ≠ X ⊂ Y")
+		}
+	default:
+		return fmt.Errorf("proofseq: unknown step kind %d", s.Kind)
+	}
+	return nil
+}
+
+// Label renders the step like the paper (e.g. "s_{AB,C}", "d_{BC,C}").
+func (s Step) Label(names []string) string {
+	switch s.Kind {
+	case Submod:
+		return fmt.Sprintf("%s·s_{%s,%s}", s.Weight.RatString(), s.I.Label(names), s.J.Label(names))
+	case Mono:
+		return fmt.Sprintf("%s·m_{%s,%s}", s.Weight.RatString(), s.X.Label(names), s.Y.Label(names))
+	case Comp:
+		return fmt.Sprintf("%s·c_{%s,%s}", s.Weight.RatString(), s.X.Label(names), s.Y.Label(names))
+	case Decomp:
+		return fmt.Sprintf("%s·d_{%s,%s}", s.Weight.RatString(), s.Y.Label(names), s.X.Label(names))
+	}
+	return "?"
+}
+
+// Sequence is a proof sequence.
+type Sequence []Step
+
+// Label renders the sequence like the paper's (3).
+func (seq Sequence) Label(names []string) string {
+	parts := make([]string, len(seq))
+	for i, s := range seq {
+		parts[i] = s.Label(names)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Apply applies one step to δ in place, enforcing non-negativity of the
+// result (condition 2 of the proof-sequence definition).
+func Apply(delta Vec, s Step) error {
+	if err := s.validate(); err != nil {
+		return err
+	}
+	for _, p := range s.Consumes() {
+		if delta.Get(p).Cmp(s.Weight) < 0 {
+			return fmt.Errorf("proofseq: step consumes %v of term (%v|%v) but only %v available",
+				s.Weight, p.Y, p.X, delta.Get(p))
+		}
+	}
+	negw := new(big.Rat).Neg(s.Weight)
+	for _, p := range s.Consumes() {
+		delta.add(p, negw)
+	}
+	for _, p := range s.Produces() {
+		delta.add(p, s.Weight)
+	}
+	return nil
+}
+
+// Verify checks that seq is a valid proof sequence transforming δ into a
+// vector dominating λ: every step is well-formed, every intermediate
+// vector is non-negative, and the final vector dominates λ.
+func Verify(delta, lambda Vec, seq Sequence) error {
+	cur := delta.Clone()
+	for i, s := range seq {
+		if err := Apply(cur, s); err != nil {
+			return fmt.Errorf("step %d: %w", i, err)
+		}
+	}
+	if !cur.Dominates(lambda) {
+		return fmt.Errorf("proofseq: final vector does not dominate λ")
+	}
+	return nil
+}
+
+// InitialDelta extracts the δ vector of the Shannon-flow inequality from
+// a polymatroid-bound result: one term h(Y|X) per degree constraint with
+// its dual weight.
+func InitialDelta(res *bound.Result) Vec {
+	delta := make(Vec)
+	for _, d := range res.Witness.Delta {
+		delta.add(Pair{X: d.DC.X, Y: d.DC.Y}, d.Weight)
+	}
+	return delta
+}
+
+// Lambda returns the λ vector putting weight 1 on h(target).
+func Lambda(target query.VarSet) Vec {
+	return Vec{Pair{X: 0, Y: target}: big.NewRat(1, 1)}
+}

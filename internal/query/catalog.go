@@ -1,0 +1,89 @@
+package query
+
+// The canonical query suite used throughout the paper's discussion, the
+// tests, and the benchmark harness. Each constructor returns a fresh
+// Query value so callers may mutate it.
+
+// Triangle returns the full triangle query
+// Q(A,B,C) :- R(A,B), S(B,C), T(A,C), the paper's running example (Q△).
+func Triangle() *Query {
+	return MustParse("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+}
+
+// BooleanTriangle returns the Boolean triangle query
+// Q() :- R(A,B), S(B,C), T(A,C).
+func BooleanTriangle() *Query {
+	return MustParse("Q() :- R(A,B), S(B,C), T(A,C)")
+}
+
+// Path2 returns the full 2-path (matrix-join) query
+// Q(A,B,C) :- R(A,B), S(B,C).
+func Path2() *Query {
+	return MustParse("Q(A,B,C) :- R(A,B), S(B,C)")
+}
+
+// Path2Projected returns the classic non-full path query
+// Q(A,C) :- R(A,B), S(B,C), whose output-sensitive complexity beats its
+// worst case.
+func Path2Projected() *Query {
+	return MustParse("Q(A,C) :- R(A,B), S(B,C)")
+}
+
+// Path3 returns the full 3-path query
+// Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D).
+func Path3() *Query {
+	return MustParse("Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D)")
+}
+
+// Path3Endpoints returns Q(A,D) :- R(A,B), S(B,C), T(C,D): free-connex
+// acyclic with bound middle variables.
+func Path3Endpoints() *Query {
+	return MustParse("Q(A,D) :- R(A,B), S(B,C), T(C,D)")
+}
+
+// Star3 returns the full star query with three rays:
+// Q(A,B,C,D) :- R(A,B), S(A,C), T(A,D).
+func Star3() *Query {
+	return MustParse("Q(A,B,C,D) :- R(A,B), S(A,C), T(A,D)")
+}
+
+// Cycle4 returns the full 4-cycle query
+// Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A).
+func Cycle4() *Query {
+	return MustParse("Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A)")
+}
+
+// LoomisWhitney4 returns the 4-variable Loomis-Whitney query whose atoms
+// are all 3-element subsets of {A,B,C,D}; its AGM exponent is 4/3.
+func LoomisWhitney4() *Query {
+	return MustParse("Q(A,B,C,D) :- R(A,B,C), S(A,B,D), T(A,C,D), U(B,C,D)")
+}
+
+// Bowtie returns two triangles sharing the vertex A:
+// Q(A,B,C,D,E) :- R(A,B), S(B,C), T(A,C), U(A,D), V(D,E), W(A,E).
+func Bowtie() *Query {
+	return MustParse("Q(A,B,C,D,E) :- R(A,B), S(B,C), T(A,C), U(A,D), V(D,E), W(A,E)")
+}
+
+// CatalogEntry pairs a query with its name for table-driven tests and
+// benches.
+type CatalogEntry struct {
+	Name  string
+	Query *Query
+}
+
+// Catalog returns the full canonical suite.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{"triangle", Triangle()},
+		{"boolean_triangle", BooleanTriangle()},
+		{"path2", Path2()},
+		{"path2_projected", Path2Projected()},
+		{"path3", Path3()},
+		{"path3_endpoints", Path3Endpoints()},
+		{"star3", Star3()},
+		{"cycle4", Cycle4()},
+		{"loomis_whitney4", LoomisWhitney4()},
+		{"bowtie", Bowtie()},
+	}
+}

@@ -1,0 +1,147 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a conjunctive query in datalog style:
+//
+//	Q(A, C) :- R(A, B), S(B, C).
+//
+// The head lists the free variables (it may be empty for a Boolean
+// query); the body lists the atoms. Variable indices are assigned in
+// order of first appearance (head first, then body left to right). The
+// trailing period is optional.
+func Parse(src string) (*Query, error) {
+	src = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(src), "."))
+	headBody := strings.SplitN(src, ":-", 2)
+	if len(headBody) != 2 {
+		return nil, fmt.Errorf("query: missing ':-' in %q", src)
+	}
+	headName, headVars, err := parseAtom(strings.TrimSpace(headBody[0]))
+	if err != nil {
+		return nil, fmt.Errorf("query: bad head: %w", err)
+	}
+	_ = headName
+
+	q := &Query{}
+	varID := map[string]int{}
+	intern := func(name string) (int, error) {
+		if id, ok := varID[name]; ok {
+			return id, nil
+		}
+		if len(q.VarNames) >= MaxVars {
+			return 0, fmt.Errorf("query: more than %d variables", MaxVars)
+		}
+		id := len(q.VarNames)
+		varID[name] = id
+		q.VarNames = append(q.VarNames, name)
+		return id, nil
+	}
+
+	for _, v := range headVars {
+		id, err := intern(v)
+		if err != nil {
+			return nil, err
+		}
+		q.Free = q.Free.Add(id)
+	}
+
+	for _, atomSrc := range splitAtoms(strings.TrimSpace(headBody[1])) {
+		name, vars, err := parseAtom(atomSrc)
+		if err != nil {
+			return nil, fmt.Errorf("query: bad atom %q: %w", atomSrc, err)
+		}
+		if len(vars) == 0 {
+			return nil, fmt.Errorf("query: atom %q has no variables", name)
+		}
+		a := Atom{Name: name}
+		for _, v := range vars {
+			id, err := intern(v)
+			if err != nil {
+				return nil, err
+			}
+			a.Vars = append(a.Vars, id)
+		}
+		q.Atoms = append(q.Atoms, a)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and the catalog.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// splitAtoms splits "R(A,B), S(B,C)" on commas at parenthesis depth 0.
+func splitAtoms(body string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range body {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(body[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if s := strings.TrimSpace(body[start:]); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+// parseAtom parses "R(A, B)" into a name and variable list. An empty
+// variable list ("Q()") is allowed for Boolean query heads.
+func parseAtom(s string) (string, []string, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("expected name(vars), got %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !isIdent(name) {
+		return "", nil, fmt.Errorf("bad name %q", name)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return name, nil, nil
+	}
+	var vars []string
+	for _, v := range strings.Split(inner, ",") {
+		v = strings.TrimSpace(v)
+		if !isIdent(v) {
+			return "", nil, fmt.Errorf("bad variable %q", v)
+		}
+		vars = append(vars, v)
+	}
+	return name, vars, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case unicode.IsLetter(r), r == '_':
+		case unicode.IsDigit(r) && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

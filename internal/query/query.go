@@ -1,0 +1,304 @@
+// Package query defines conjunctive queries (CQs) as hypergraphs with free
+// variables and degree constraints, exactly as in Section 3 of the paper,
+// plus a small datalog-style parser, a reference RAM evaluator, and a
+// catalog of canonical queries used across tests and benchmarks.
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"circuitql/internal/relation"
+)
+
+// Atom is one relational atom R_F(A_F) of a conjunctive query. Vars holds
+// variable indices in the positional order of the relation's columns.
+type Atom struct {
+	Name string
+	Vars []int
+}
+
+// VarSet returns the set of variables of the atom (the hyperedge F).
+func (a Atom) VarSet() VarSet { return SetOf(a.Vars...) }
+
+// Query is a conjunctive query
+//
+//	Q(free) ← ∃(bound) ⋀_F R_F(A_F)
+//
+// over hypergraph ([n], E) where E is the multiset of atom variable sets.
+type Query struct {
+	VarNames []string // variable names; index is the variable id
+	Free     VarSet   // free (output) variables
+	Atoms    []Atom
+}
+
+// NVars returns the number of variables n.
+func (q *Query) NVars() int { return len(q.VarNames) }
+
+// AllVars returns the set [n].
+func (q *Query) AllVars() VarSet { return FullSet(q.NVars()) }
+
+// IsFull reports whether the query is a full CQ (all variables free).
+func (q *Query) IsFull() bool { return q.Free == q.AllVars() }
+
+// IsBoolean reports whether the query is Boolean (no free variables).
+func (q *Query) IsBoolean() bool { return q.Free.Empty() }
+
+// VarIndex returns the index of the named variable, or -1.
+func (q *Query) VarIndex(name string) int {
+	for i, n := range q.VarNames {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Edges returns the hyperedges (atom variable sets) in atom order.
+func (q *Query) Edges() []VarSet {
+	out := make([]VarSet, len(q.Atoms))
+	for i, a := range q.Atoms {
+		out[i] = a.VarSet()
+	}
+	return out
+}
+
+// EdgeFor returns the index of some atom whose variable set equals f, or
+// -1 if none exists.
+func (q *Query) EdgeFor(f VarSet) int {
+	for i, a := range q.Atoms {
+		if a.VarSet() == f {
+			return i
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants: at least one atom, every variable
+// occurs in some atom, free vars exist, and variable count is in range.
+func (q *Query) Validate() error {
+	if len(q.Atoms) == 0 {
+		return fmt.Errorf("query: no atoms")
+	}
+	if q.NVars() == 0 || q.NVars() > MaxVars {
+		return fmt.Errorf("query: %d variables out of range [1, %d]", q.NVars(), MaxVars)
+	}
+	covered := VarSet(0)
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars {
+			if v < 0 || v >= q.NVars() {
+				return fmt.Errorf("query: atom %s uses variable index %d out of range", a.Name, v)
+			}
+		}
+		covered = covered.Union(a.VarSet())
+	}
+	if covered != q.AllVars() {
+		return fmt.Errorf("query: variables %v not covered by any atom", q.AllVars().Minus(covered).Names(q.VarNames))
+	}
+	if !q.Free.SubsetOf(q.AllVars()) {
+		return fmt.Errorf("query: free variables out of range")
+	}
+	return nil
+}
+
+// String renders the query in datalog style.
+func (q *Query) String() string {
+	s := "Q("
+	for i, n := range q.Free.Names(q.VarNames) {
+		if i > 0 {
+			s += ","
+		}
+		s += n
+	}
+	s += ") :- "
+	for i, a := range q.Atoms {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.Name + "("
+		for j, v := range a.Vars {
+			if j > 0 {
+				s += ","
+			}
+			s += q.VarNames[v]
+		}
+		s += ")"
+	}
+	return s
+}
+
+// DegreeConstraint is the triple (X, Y, N_{Y|X}) asserting
+// deg(Y|X) ≤ N_{Y|X}, with X ⊆ Y and Y the variable set of some atom (the
+// paper's guard restriction, Section 3.1). A cardinality constraint has
+// X = ∅; a functional dependency has N = 1.
+type DegreeConstraint struct {
+	X, Y VarSet
+	N    float64 // the bound N_{Y|X} ≥ 1, in tuples
+}
+
+// LogN returns n_{Y|X} = log₂ N_{Y|X}.
+func (dc DegreeConstraint) LogN() float64 { return math.Log2(dc.N) }
+
+// IsCardinality reports whether the constraint is a cardinality constraint
+// (X = ∅).
+func (dc DegreeConstraint) IsCardinality() bool { return dc.X.Empty() }
+
+// Label renders the constraint using the query's variable names.
+func (dc DegreeConstraint) Label(names []string) string {
+	return fmt.Sprintf("deg(%s|%s)≤%g", dc.Y.Label(names), dc.X.Label(names), dc.N)
+}
+
+// DCSet is a set of degree constraints.
+type DCSet []DegreeConstraint
+
+// Validate checks every constraint against the query: X ⊆ Y, Y is an atom
+// variable set, and N ≥ 1.
+func (dcs DCSet) Validate(q *Query) error {
+	for _, dc := range dcs {
+		if !dc.X.SubsetOf(dc.Y) {
+			return fmt.Errorf("degree constraint %s: X ⊄ Y", dc.Label(q.VarNames))
+		}
+		if q.EdgeFor(dc.Y) < 0 {
+			return fmt.Errorf("degree constraint %s: Y is not an atom variable set", dc.Label(q.VarNames))
+		}
+		if dc.N < 1 {
+			return fmt.Errorf("degree constraint %s: bound below 1", dc.Label(q.VarNames))
+		}
+	}
+	return nil
+}
+
+// Cardinalities returns uniform cardinality constraints |R_F| ≤ n for
+// every atom of q.
+func Cardinalities(q *Query, n float64) DCSet {
+	out := make(DCSet, 0, len(q.Atoms))
+	seen := map[VarSet]bool{}
+	for _, a := range q.Atoms {
+		f := a.VarSet()
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, DegreeConstraint{X: 0, Y: f, N: n})
+	}
+	return out
+}
+
+// Database maps relation names to relations. One relation may guard
+// several atoms (self-joins reuse the name).
+type Database map[string]*relation.Relation
+
+// TotalSize returns N = Σ_F |R_F| over the distinct relations.
+func (db Database) TotalSize() int {
+	n := 0
+	for _, r := range db {
+		n += r.Len()
+	}
+	return n
+}
+
+// AtomRelation returns the relation for atom a with its columns renamed to
+// the atom's variable names (repeated variables are checked for equality
+// and collapsed).
+func AtomRelation(q *Query, db Database, a Atom) (*relation.Relation, error) {
+	r, ok := db[a.Name]
+	if !ok {
+		return nil, fmt.Errorf("query: database has no relation %q", a.Name)
+	}
+	if r.Arity() != len(a.Vars) {
+		return nil, fmt.Errorf("query: relation %q has arity %d, atom uses %d variables", a.Name, r.Arity(), len(a.Vars))
+	}
+	// Repeated variables (e.g. R(A, A)) select tuples with equal columns
+	// and collapse to a single output column.
+	out := relation.New(dedupNames(q, a)...)
+	r.Each(func(t relation.Tuple) {
+		row := make([]int64, 0, out.Arity())
+		ok := true
+		seenVar := map[int]int64{}
+		for i, v := range a.Vars {
+			if prev, dup := seenVar[v]; dup {
+				if prev != t[i] {
+					ok = false
+					break
+				}
+				continue
+			}
+			seenVar[v] = t[i]
+			row = append(row, t[i])
+		}
+		if ok {
+			out.Insert(row...)
+		}
+	})
+	return out, nil
+}
+
+func dedupNames(q *Query, a Atom) []string {
+	var names []string
+	seen := map[int]bool{}
+	for _, v := range a.Vars {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		names = append(names, q.VarNames[v])
+	}
+	return names
+}
+
+// Evaluate computes Q(D) by the reference RAM strategy: join all atoms
+// (smallest-first) and project onto the free variables. For Boolean
+// queries the result is a zero-arity relation containing the empty tuple
+// iff the query is true.
+func Evaluate(q *Query, db Database) (*relation.Relation, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	rels := make([]*relation.Relation, len(q.Atoms))
+	for i, a := range q.Atoms {
+		r, err := AtomRelation(q, db, a)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = r
+	}
+	sort.SliceStable(rels, func(i, j int) bool { return rels[i].Len() < rels[j].Len() })
+	acc := rels[0]
+	for _, r := range rels[1:] {
+		acc = acc.NaturalJoin(r)
+	}
+	return acc.Project(q.Free.Names(q.VarNames)...), nil
+}
+
+// DeriveDC measures the database and returns the tightest degree
+// constraints of the requested shapes: for every atom, its cardinality
+// constraint, and for every (X ⊂ Y) pair with |X| ≥ 1, the observed
+// degree bound. This is how "DC conforming" instances are produced in
+// tests.
+func DeriveDC(q *Query, db Database) (DCSet, error) {
+	var out DCSet
+	seen := map[VarSet]bool{}
+	for _, a := range q.Atoms {
+		y := a.VarSet()
+		if seen[y] {
+			continue
+		}
+		seen[y] = true
+		r, err := AtomRelation(q, db, a)
+		if err != nil {
+			return nil, err
+		}
+		y.Subsets(func(x VarSet) {
+			if x == y {
+				return
+			}
+			d := float64(r.Degree(x.Names(q.VarNames)...))
+			if d < 1 {
+				d = 1
+			}
+			out = append(out, DegreeConstraint{X: x, Y: y, N: d})
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package query
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// MaxVars is the largest number of query variables supported by VarSet.
+const MaxVars = 24
+
+// VarSet is a set of query variables, represented as a bitmask over
+// variable indices. Queries are constant-sized (data complexity), so 24
+// variables is far beyond anything the constructions need.
+type VarSet uint32
+
+// SetOf builds a VarSet from variable indices.
+func SetOf(vars ...int) VarSet {
+	var s VarSet
+	for _, v := range vars {
+		s = s.Add(v)
+	}
+	return s
+}
+
+// FullSet returns the set {0, ..., n-1}.
+func FullSet(n int) VarSet {
+	if n < 0 || n > MaxVars {
+		panic("query: variable count out of range")
+	}
+	return VarSet(1<<uint(n)) - 1
+}
+
+// Has reports whether variable v is in the set.
+func (s VarSet) Has(v int) bool { return s&(1<<uint(v)) != 0 }
+
+// Add returns s ∪ {v}.
+func (s VarSet) Add(v int) VarSet {
+	if v < 0 || v >= MaxVars {
+		panic("query: variable index out of range")
+	}
+	return s | 1<<uint(v)
+}
+
+// Remove returns s \ {v}.
+func (s VarSet) Remove(v int) VarSet { return s &^ (1 << uint(v)) }
+
+// Union returns s ∪ t.
+func (s VarSet) Union(t VarSet) VarSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s VarSet) Intersect(t VarSet) VarSet { return s & t }
+
+// Minus returns s \ t.
+func (s VarSet) Minus(t VarSet) VarSet { return s &^ t }
+
+// SubsetOf reports whether s ⊆ t.
+func (s VarSet) SubsetOf(t VarSet) bool { return s&^t == 0 }
+
+// Empty reports whether the set is empty.
+func (s VarSet) Empty() bool { return s == 0 }
+
+// Len returns |s|.
+func (s VarSet) Len() int { return bits.OnesCount32(uint32(s)) }
+
+// Vars returns the variable indices in increasing order.
+func (s VarSet) Vars() []int {
+	out := make([]int, 0, s.Len())
+	for t := s; t != 0; {
+		v := bits.TrailingZeros32(uint32(t))
+		out = append(out, v)
+		t = t.Remove(v)
+	}
+	return out
+}
+
+// Names maps the set to variable names using the query's variable table.
+func (s VarSet) Names(names []string) []string {
+	vars := s.Vars()
+	out := make([]string, len(vars))
+	for i, v := range vars {
+		out[i] = names[v]
+	}
+	return out
+}
+
+// Label renders the set compactly (e.g. "AB") using the variable table;
+// the empty set renders as "∅".
+func (s VarSet) Label(names []string) string {
+	if s.Empty() {
+		return "∅"
+	}
+	return strings.Join(s.Names(names), "")
+}
+
+// Subsets calls fn for every subset of s (including ∅ and s itself).
+func (s VarSet) Subsets(fn func(VarSet)) {
+	sub := VarSet(0)
+	for {
+		fn(sub)
+		if sub == s {
+			return
+		}
+		sub = (sub - s) & s // enumerate submasks in increasing order
+	}
+}

@@ -1,0 +1,67 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ReadCSV reads a relation from CSV: the first record is the header
+// (attribute names), every following record one tuple of int64 values.
+// Duplicate tuples collapse (set semantics).
+func ReadCSV(r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	rel := New(header...)
+	row := make([]int64, len(header))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rel, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: CSV line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("relation: CSV line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		for i, f := range rec {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("relation: CSV line %d field %d: %w", line, i+1, err)
+			}
+			row[i] = v
+		}
+		rel.Insert(row...)
+	}
+}
+
+// WriteCSV writes the relation as CSV (header + one record per tuple,
+// in deterministic sorted order).
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.schema); err != nil {
+		return err
+	}
+	rec := make([]string, len(r.schema))
+	var werr error
+	r.Sorted(r.schema...).Each(func(t Tuple) {
+		if werr != nil {
+			return
+		}
+		for i, v := range t {
+			rec[i] = strconv.FormatInt(v, 10)
+		}
+		werr = cw.Write(rec)
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}

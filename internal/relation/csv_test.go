@@ -1,0 +1,51 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := FromTuples([]string{"A", "B"},
+		Tuple{3, -4}, Tuple{1, 2}, Tuple{1, 2}) // duplicate collapses
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(r) {
+		t.Fatalf("round trip: %v vs %v", got, r)
+	}
+	// Deterministic sorted output.
+	want := "A,B\n1,2\n3,-4\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",             // no header
+		"A,B\n1\n",     // wrong arity
+		"A,B\n1,x\n",   // non-integer
+		"A,B\n1,2,3\n", // too many fields
+	}
+	for i, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted: %q", i, src)
+		}
+	}
+}
+
+func TestReadCSVEmptyRelation(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("A,B\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Arity() != 2 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,83 @@
+package relation
+
+import (
+	"encoding/binary"
+)
+
+// Index is a hash index over a subset of a relation's attributes: it
+// maps each value combination to the tuples carrying it. Worst-case
+// optimal join algorithms probe such indexes once per candidate
+// extension, so lookups must be O(1) in the tuple count.
+type Index struct {
+	rel   *Relation
+	attrs []string
+	pos   []int
+	rows  map[string][]int // value key -> tuple ordinals
+}
+
+// BuildIndex indexes the relation on the given attributes. The index is
+// a snapshot: tuples inserted afterwards are not visible.
+func (r *Relation) BuildIndex(attrs ...string) *Index {
+	idx := &Index{
+		rel:   r,
+		attrs: append([]string(nil), attrs...),
+		pos:   make([]int, len(attrs)),
+		rows:  make(map[string][]int),
+	}
+	for i, a := range attrs {
+		idx.pos[i] = r.AttrPos(a)
+	}
+	kbuf := make(Tuple, len(attrs))
+	for i, t := range r.tuples {
+		for j, p := range idx.pos {
+			kbuf[j] = t[p]
+		}
+		k := key(kbuf)
+		idx.rows[k] = append(idx.rows[k], i)
+	}
+	return idx
+}
+
+// Attrs returns the indexed attributes.
+func (i *Index) Attrs() []string { return append([]string(nil), i.attrs...) }
+
+// Lookup calls fn for every tuple whose indexed attributes equal vals
+// (in index attribute order). fn must not mutate the tuple.
+func (i *Index) Lookup(vals []int64, fn func(Tuple)) {
+	for _, ord := range i.rows[key(vals)] {
+		fn(i.rel.tuples[ord])
+	}
+}
+
+// Count returns the number of tuples matching vals — deg queries in
+// O(1).
+func (i *Index) Count(vals []int64) int { return len(i.rows[key(vals)]) }
+
+// Distinct calls fn once per distinct value combination present,
+// together with its multiplicity, in unspecified order.
+func (i *Index) Distinct(fn func(vals []int64, count int)) {
+	for k, ords := range i.rows {
+		fn(decodeKey(k), len(ords))
+	}
+}
+
+// MaxDegree returns max over value combinations of the matching tuple
+// count (deg_attrs(R) via the index).
+func (i *Index) MaxDegree() int {
+	maxd := 0
+	for _, ords := range i.rows {
+		if len(ords) > maxd {
+			maxd = len(ords)
+		}
+	}
+	return maxd
+}
+
+// decodeKey inverts the 8-byte-per-value key encoding.
+func decodeKey(k string) []int64 {
+	out := make([]int64, len(k)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64([]byte(k[i*8 : i*8+8])))
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestIndexLookupAndCount(t *testing.T) {
+	r := FromTuples([]string{"A", "B"},
+		Tuple{1, 10}, Tuple{1, 20}, Tuple{2, 10}, Tuple{3, 30})
+	idx := r.BuildIndex("A")
+	if got := idx.Count([]int64{1}); got != 2 {
+		t.Fatalf("Count(1) = %d", got)
+	}
+	if got := idx.Count([]int64{9}); got != 0 {
+		t.Fatalf("Count(9) = %d", got)
+	}
+	var bs []int64
+	idx.Lookup([]int64{1}, func(tp Tuple) { bs = append(bs, tp[1]) })
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	if len(bs) != 2 || bs[0] != 10 || bs[1] != 20 {
+		t.Fatalf("Lookup(1) = %v", bs)
+	}
+	if got := idx.Attrs(); len(got) != 1 || got[0] != "A" {
+		t.Fatalf("Attrs = %v", got)
+	}
+}
+
+func TestIndexMultiAttr(t *testing.T) {
+	r := FromTuples([]string{"A", "B", "C"},
+		Tuple{1, 10, 7}, Tuple{1, 10, 8}, Tuple{1, 20, 9})
+	idx := r.BuildIndex("A", "B")
+	if idx.Count([]int64{1, 10}) != 2 || idx.Count([]int64{1, 20}) != 1 {
+		t.Fatal("multi-attr counts wrong")
+	}
+	if idx.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %d", idx.MaxDegree())
+	}
+}
+
+func TestIndexMatchesDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := New("A", "B")
+	for r.Len() < 60 {
+		r.Insert(int64(rng.Intn(8)), int64(rng.Intn(8)))
+	}
+	idx := r.BuildIndex("A")
+	if idx.MaxDegree() != r.Degree("A") {
+		t.Fatalf("index degree %d vs relation degree %d", idx.MaxDegree(), r.Degree("A"))
+	}
+	// Distinct enumerates exactly the projection with multiplicities.
+	proj := r.Project("A")
+	seen := 0
+	idx.Distinct(func(vals []int64, count int) {
+		seen++
+		if !proj.Has(vals[0]) {
+			t.Fatalf("Distinct produced absent value %d", vals[0])
+		}
+		if count != idx.Count(vals) {
+			t.Fatal("Distinct count mismatch")
+		}
+	})
+	if seen != proj.Len() {
+		t.Fatalf("Distinct count %d vs projection %d", seen, proj.Len())
+	}
+}
+
+func TestIndexIsSnapshot(t *testing.T) {
+	r := FromTuples([]string{"A"}, Tuple{1})
+	idx := r.BuildIndex("A")
+	r.Insert(2)
+	if idx.Count([]int64{2}) != 0 {
+		t.Fatal("index saw post-build insert")
+	}
+}
+
+func BenchmarkIndexedLookupVsScan(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	r := New("A", "B")
+	for r.Len() < 5000 {
+		r.Insert(int64(rng.Intn(500)), int64(rng.Intn(500)))
+	}
+	b.Run("scan-selecteq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r.SelectEq("A", int64(i%500))
+		}
+	})
+	b.Run("index-lookup", func(b *testing.B) {
+		idx := r.BuildIndex("A")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx.Lookup([]int64{int64(i % 500)}, func(Tuple) {})
+		}
+	})
+}

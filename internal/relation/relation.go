@@ -1,0 +1,555 @@
+// Package relation implements in-memory relations with set semantics and
+// the standard RAM operators used throughout the paper: selection,
+// projection, natural join, semijoin, union, ordering, and group-by
+// aggregation, plus degree measurement for degree constraints.
+//
+// Relations are the substrate both for the reference (RAM) query
+// evaluators and for checking circuit evaluation results. Tuples draw
+// their values from a signed 64-bit integer domain; attribute names are
+// strings. All operators are deterministic: output tuple order is the
+// order of first insertion unless an explicit ordering is requested.
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a row of attribute values, positionally matching a relation's
+// schema.
+type Tuple []int64
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Relation is a set of tuples over a fixed schema. The zero value is not
+// usable; construct relations with New.
+type Relation struct {
+	schema []string
+	index  map[string]int
+	tuples []Tuple
+	seen   map[string]struct{}
+}
+
+// New returns an empty relation with the given attribute names. Attribute
+// names must be non-empty and distinct.
+func New(schema ...string) *Relation {
+	r := &Relation{
+		schema: append([]string(nil), schema...),
+		index:  make(map[string]int, len(schema)),
+		seen:   make(map[string]struct{}),
+	}
+	for i, a := range schema {
+		if a == "" {
+			panic("relation: empty attribute name")
+		}
+		if _, dup := r.index[a]; dup {
+			panic(fmt.Sprintf("relation: duplicate attribute %q", a))
+		}
+		r.index[a] = i
+	}
+	return r
+}
+
+// FromTuples builds a relation from a schema and a list of rows.
+func FromTuples(schema []string, rows ...Tuple) *Relation {
+	r := New(schema...)
+	for _, t := range rows {
+		r.Insert(t...)
+	}
+	return r
+}
+
+// Schema returns a copy of the attribute names in order.
+func (r *Relation) Schema() []string { return append([]string(nil), r.schema...) }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.schema) }
+
+// Len returns the number of (distinct) tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// HasAttr reports whether the schema contains attribute a.
+func (r *Relation) HasAttr(a string) bool {
+	_, ok := r.index[a]
+	return ok
+}
+
+// AttrPos returns the position of attribute a in the schema.
+func (r *Relation) AttrPos(a string) int {
+	i, ok := r.index[a]
+	if !ok {
+		panic(fmt.Sprintf("relation: unknown attribute %q in schema %v", a, r.schema))
+	}
+	return i
+}
+
+func key(t Tuple) string {
+	var b strings.Builder
+	b.Grow(8 * len(t))
+	var buf [8]byte
+	for _, v := range t {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		b.Write(buf[:])
+	}
+	return b.String()
+}
+
+// Insert adds a tuple; it reports whether the tuple was new. The number of
+// values must match the arity.
+func (r *Relation) Insert(vals ...int64) bool {
+	if len(vals) != len(r.schema) {
+		panic(fmt.Sprintf("relation: inserting %d values into arity-%d relation", len(vals), len(r.schema)))
+	}
+	t := Tuple(vals).Clone()
+	k := key(t)
+	if _, dup := r.seen[k]; dup {
+		return false
+	}
+	r.seen[k] = struct{}{}
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+// Has reports whether the tuple is present.
+func (r *Relation) Has(vals ...int64) bool {
+	if len(vals) != len(r.schema) {
+		return false
+	}
+	_, ok := r.seen[key(vals)]
+	return ok
+}
+
+// Each calls fn for every tuple in insertion order. The callback must not
+// mutate the tuple.
+func (r *Relation) Each(fn func(Tuple)) {
+	for _, t := range r.tuples {
+		fn(t)
+	}
+}
+
+// Tuples returns a copy of all tuples in insertion order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	for i, t := range r.tuples {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := New(r.schema...)
+	for _, t := range r.tuples {
+		c.Insert(t...)
+	}
+	return c
+}
+
+// Value returns tuple t's value for attribute a.
+func (r *Relation) Value(t Tuple, a string) int64 { return t[r.AttrPos(a)] }
+
+// Project returns Π_attrs(R), eliminating duplicates.
+func (r *Relation) Project(attrs ...string) *Relation {
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		pos[i] = r.AttrPos(a)
+	}
+	out := New(attrs...)
+	row := make([]int64, len(attrs))
+	for _, t := range r.tuples {
+		for i, p := range pos {
+			row[i] = t[p]
+		}
+		out.Insert(row...)
+	}
+	return out
+}
+
+// Select returns σ_pred(R).
+func (r *Relation) Select(pred func(Tuple) bool) *Relation {
+	out := New(r.schema...)
+	for _, t := range r.tuples {
+		if pred(t) {
+			out.Insert(t...)
+		}
+	}
+	return out
+}
+
+// SelectEq returns σ_{a=v}(R).
+func (r *Relation) SelectEq(a string, v int64) *Relation {
+	p := r.AttrPos(a)
+	return r.Select(func(t Tuple) bool { return t[p] == v })
+}
+
+// CommonAttrs returns the attributes shared with s, in r's schema order.
+func (r *Relation) CommonAttrs(s *Relation) []string {
+	var common []string
+	for _, a := range r.schema {
+		if s.HasAttr(a) {
+			common = append(common, a)
+		}
+	}
+	return common
+}
+
+// joinSchema returns r's schema followed by s's attributes not in r.
+func joinSchema(r, s *Relation) []string {
+	out := append([]string(nil), r.schema...)
+	for _, a := range s.schema {
+		if !r.HasAttr(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// NaturalJoin returns R ⋈ S on their common attributes (the cartesian
+// product when there are none). The output schema is r's schema followed
+// by s's remaining attributes.
+func (r *Relation) NaturalJoin(s *Relation) *Relation {
+	common := r.CommonAttrs(s)
+	out := New(joinSchema(r, s)...)
+
+	sCommonPos := make([]int, len(common))
+	rCommonPos := make([]int, len(common))
+	for i, a := range common {
+		sCommonPos[i] = s.AttrPos(a)
+		rCommonPos[i] = r.AttrPos(a)
+	}
+	var sExtraPos []int
+	for _, a := range s.schema {
+		if !r.HasAttr(a) {
+			sExtraPos = append(sExtraPos, s.AttrPos(a))
+		}
+	}
+
+	// Hash s on the common attributes.
+	buckets := make(map[string][]Tuple)
+	kbuf := make(Tuple, len(common))
+	for _, st := range s.tuples {
+		for i, p := range sCommonPos {
+			kbuf[i] = st[p]
+		}
+		k := key(kbuf)
+		buckets[k] = append(buckets[k], st)
+	}
+
+	row := make([]int64, len(out.schema))
+	for _, rt := range r.tuples {
+		for i, p := range rCommonPos {
+			kbuf[i] = rt[p]
+		}
+		for _, st := range buckets[key(kbuf)] {
+			copy(row, rt)
+			for i, p := range sExtraPos {
+				row[len(rt)+i] = st[p]
+			}
+			out.Insert(row...)
+		}
+	}
+	return out
+}
+
+// SemiJoin returns R ⋉ S: the tuples of R that join with at least one
+// tuple of S on their common attributes.
+func (r *Relation) SemiJoin(s *Relation) *Relation {
+	common := r.CommonAttrs(s)
+	if len(common) == 0 {
+		if s.Len() == 0 {
+			return New(r.schema...)
+		}
+		return r.Clone()
+	}
+	proj := s.Project(common...)
+	rPos := make([]int, len(common))
+	for i, a := range common {
+		rPos[i] = r.AttrPos(a)
+	}
+	out := New(r.schema...)
+	kbuf := make(Tuple, len(common))
+	for _, t := range r.tuples {
+		for i, p := range rPos {
+			kbuf[i] = t[p]
+		}
+		if proj.Has(kbuf...) {
+			out.Insert(t...)
+		}
+	}
+	return out
+}
+
+// Union returns R ∪ S. The schemas must contain the same attribute set;
+// s's tuples are reordered to r's schema if needed.
+func (r *Relation) Union(s *Relation) *Relation {
+	perm := schemaPerm(r, s)
+	out := r.Clone()
+	row := make([]int64, len(r.schema))
+	for _, t := range s.tuples {
+		for i, p := range perm {
+			row[i] = t[p]
+		}
+		out.Insert(row...)
+	}
+	return out
+}
+
+// schemaPerm returns, for each attribute of r's schema, its position in
+// s's schema; it panics if the attribute sets differ.
+func schemaPerm(r, s *Relation) []int {
+	if len(r.schema) != len(s.schema) {
+		panic(fmt.Sprintf("relation: schema mismatch %v vs %v", r.schema, s.schema))
+	}
+	perm := make([]int, len(r.schema))
+	for i, a := range r.schema {
+		perm[i] = s.AttrPos(a)
+	}
+	return perm
+}
+
+// Rename returns a copy with attributes renamed according to m; attributes
+// not in m keep their name.
+func (r *Relation) Rename(m map[string]string) *Relation {
+	schema := make([]string, len(r.schema))
+	for i, a := range r.schema {
+		if n, ok := m[a]; ok {
+			schema[i] = n
+		} else {
+			schema[i] = a
+		}
+	}
+	out := New(schema...)
+	for _, t := range r.tuples {
+		out.Insert(t...)
+	}
+	return out
+}
+
+// Sorted returns a copy whose insertion order is sorted lexicographically
+// by the given attributes (then by the remaining attributes to break ties
+// deterministically).
+func (r *Relation) Sorted(by ...string) *Relation {
+	pos := make([]int, 0, len(r.schema))
+	for _, a := range by {
+		pos = append(pos, r.AttrPos(a))
+	}
+	for i := range r.schema {
+		pos = append(pos, i)
+	}
+	ts := make([]Tuple, len(r.tuples))
+	copy(ts, r.tuples)
+	sort.SliceStable(ts, func(i, j int) bool {
+		for _, p := range pos {
+			if ts[i][p] != ts[j][p] {
+				return ts[i][p] < ts[j][p]
+			}
+		}
+		return false
+	})
+	out := New(r.schema...)
+	for _, t := range ts {
+		out.Insert(t...)
+	}
+	return out
+}
+
+// OrderAttr is the name of the position column added by Order (the
+// paper's τ_F operator).
+const OrderAttr = "order"
+
+// Order implements the paper's ordering operator τ_F(R): it returns R
+// extended with an OrderAttr column holding the 1-based position of each
+// tuple after sorting by attributes by (ties broken deterministically by
+// the remaining attributes).
+func (r *Relation) Order(by ...string) *Relation {
+	if r.HasAttr(OrderAttr) {
+		panic("relation: Order on relation that already has an order column")
+	}
+	sorted := r.Sorted(by...)
+	out := New(append(sorted.Schema(), OrderAttr)...)
+	row := make([]int64, len(r.schema)+1)
+	i := int64(0)
+	sorted.Each(func(t Tuple) {
+		i++
+		copy(row, t)
+		row[len(t)] = i
+		out.Insert(row...)
+	})
+	return out
+}
+
+// AggKind enumerates the group-by aggregates of the paper's Π_{F,agg(A)}.
+type AggKind int
+
+// Supported aggregation kinds.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String returns the SQL-ish name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return fmt.Sprintf("AggKind(%d)", int(k))
+}
+
+// Aggregate implements Π_{group, agg(over)}(R): it partitions R by the
+// group attributes and aggregates attribute over within each group. The
+// output schema is group + out (the aggregate column name). For AggCount,
+// over is ignored and may be empty.
+func (r *Relation) Aggregate(group []string, agg AggKind, over, out string) *Relation {
+	gpos := make([]int, len(group))
+	for i, a := range group {
+		gpos[i] = r.AttrPos(a)
+	}
+	opos := -1
+	if agg != AggCount {
+		opos = r.AttrPos(over)
+	}
+
+	type acc struct {
+		g Tuple
+		v int64
+		n int64
+	}
+	accs := make(map[string]*acc)
+	var order []string
+	kbuf := make(Tuple, len(group))
+	for _, t := range r.tuples {
+		for i, p := range gpos {
+			kbuf[i] = t[p]
+		}
+		k := key(kbuf)
+		a, ok := accs[k]
+		if !ok {
+			a = &acc{g: kbuf.Clone()}
+			switch agg {
+			case AggMin:
+				a.v = int64(^uint64(0) >> 1) // MaxInt64
+			case AggMax:
+				a.v = -int64(^uint64(0)>>1) - 1 // MinInt64
+			}
+			accs[k] = a
+			order = append(order, k)
+		}
+		a.n++
+		switch agg {
+		case AggSum:
+			a.v += t[opos]
+		case AggMin:
+			if t[opos] < a.v {
+				a.v = t[opos]
+			}
+		case AggMax:
+			if t[opos] > a.v {
+				a.v = t[opos]
+			}
+		}
+	}
+
+	res := New(append(append([]string(nil), group...), out)...)
+	row := make([]int64, len(group)+1)
+	for _, k := range order {
+		a := accs[k]
+		copy(row, a.g)
+		if agg == AggCount {
+			row[len(group)] = a.n
+		} else {
+			row[len(group)] = a.v
+		}
+		res.Insert(row...)
+	}
+	return res
+}
+
+// GroupCount is shorthand for Aggregate(group, AggCount, "", "count").
+func (r *Relation) GroupCount(group ...string) *Relation {
+	return r.Aggregate(group, AggCount, "", "count")
+}
+
+// Degree returns deg_R(X) = max_t |σ_{X=t}(R)|: the maximum number of
+// tuples sharing one value combination on attributes X. Degree of the
+// empty set is |R|.
+func (r *Relation) Degree(x ...string) int {
+	if len(x) == 0 {
+		return r.Len()
+	}
+	pos := make([]int, len(x))
+	for i, a := range x {
+		pos[i] = r.AttrPos(a)
+	}
+	counts := make(map[string]int)
+	maxd := 0
+	kbuf := make(Tuple, len(x))
+	for _, t := range r.tuples {
+		for i, p := range pos {
+			kbuf[i] = t[p]
+		}
+		k := key(kbuf)
+		counts[k]++
+		if counts[k] > maxd {
+			maxd = counts[k]
+		}
+	}
+	return maxd
+}
+
+// Equal reports whether r and s contain the same set of tuples over the
+// same attribute set (schema order may differ).
+func (r *Relation) Equal(s *Relation) bool {
+	if len(r.schema) != len(s.schema) || r.Len() != s.Len() {
+		return false
+	}
+	for _, a := range r.schema {
+		if !s.HasAttr(a) {
+			return false
+		}
+	}
+	row := make([]int64, len(r.schema))
+	for _, t := range s.tuples {
+		// Reorder s's tuple into r's schema order and check membership.
+		for i, a := range r.schema {
+			row[i] = t[s.AttrPos(a)]
+		}
+		if !r.Has(row...) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation deterministically (sorted), for tests and
+// debugging.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v{", r.schema)
+	sorted := r.Sorted(r.schema...)
+	first := true
+	sorted.Each(func(t Tuple) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%v", []int64(t))
+	})
+	b.WriteString("}")
+	return b.String()
+}

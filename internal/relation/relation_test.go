@@ -1,0 +1,339 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func rel(t *testing.T, schema []string, rows ...[]int64) *Relation {
+	t.Helper()
+	r := New(schema...)
+	for _, row := range rows {
+		r.Insert(row...)
+	}
+	return r
+}
+
+func TestInsertDedup(t *testing.T) {
+	r := New("A", "B")
+	if !r.Insert(1, 2) {
+		t.Fatal("first insert reported duplicate")
+	}
+	if r.Insert(1, 2) {
+		t.Fatal("duplicate insert reported new")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", r.Len())
+	}
+	if !r.Has(1, 2) || r.Has(2, 1) {
+		t.Fatal("Has gives wrong membership")
+	}
+}
+
+func TestInsertArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	New("A").Insert(1, 2)
+}
+
+func TestDuplicateAttrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate attribute")
+		}
+	}()
+	New("A", "A")
+}
+
+func TestProject(t *testing.T) {
+	r := rel(t, []string{"A", "B"}, []int64{1, 10}, []int64{1, 20}, []int64{2, 10})
+	p := r.Project("A")
+	if p.Len() != 2 || !p.Has(1) || !p.Has(2) {
+		t.Fatalf("Project(A) = %v", p)
+	}
+	// Projection onto both attrs in swapped order.
+	q := r.Project("B", "A")
+	if q.Len() != 3 || !q.Has(10, 1) || !q.Has(20, 1) || !q.Has(10, 2) {
+		t.Fatalf("Project(B,A) = %v", q)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := rel(t, []string{"A", "B"}, []int64{1, 10}, []int64{2, 20})
+	s := r.SelectEq("A", 1)
+	if s.Len() != 1 || !s.Has(1, 10) {
+		t.Fatalf("SelectEq = %v", s)
+	}
+}
+
+func TestNaturalJoinBasic(t *testing.T) {
+	r := rel(t, []string{"A", "B"}, []int64{1, 10}, []int64{2, 10}, []int64{3, 30})
+	s := rel(t, []string{"B", "C"}, []int64{10, 100}, []int64{10, 200}, []int64{40, 400})
+	j := r.NaturalJoin(s)
+	want := rel(t, []string{"A", "B", "C"},
+		[]int64{1, 10, 100}, []int64{1, 10, 200},
+		[]int64{2, 10, 100}, []int64{2, 10, 200})
+	if !j.Equal(want) {
+		t.Fatalf("join = %v, want %v", j, want)
+	}
+}
+
+func TestNaturalJoinNoCommonIsProduct(t *testing.T) {
+	r := rel(t, []string{"A"}, []int64{1}, []int64{2})
+	s := rel(t, []string{"B"}, []int64{10})
+	j := r.NaturalJoin(s)
+	if j.Len() != 2 || !j.Has(1, 10) || !j.Has(2, 10) {
+		t.Fatalf("product = %v", j)
+	}
+}
+
+func TestSemiJoin(t *testing.T) {
+	r := rel(t, []string{"A", "B"}, []int64{1, 10}, []int64{2, 20}, []int64{3, 30})
+	s := rel(t, []string{"B", "C"}, []int64{10, 1}, []int64{30, 9})
+	sj := r.SemiJoin(s)
+	want := rel(t, []string{"A", "B"}, []int64{1, 10}, []int64{3, 30})
+	if !sj.Equal(want) {
+		t.Fatalf("semijoin = %v, want %v", sj, want)
+	}
+}
+
+func TestSemiJoinNoCommon(t *testing.T) {
+	r := rel(t, []string{"A"}, []int64{1})
+	empty := New("B")
+	if got := r.SemiJoin(empty); got.Len() != 0 {
+		t.Fatalf("semijoin with empty disjoint relation = %v, want empty", got)
+	}
+	s := rel(t, []string{"B"}, []int64{5})
+	if got := r.SemiJoin(s); !got.Equal(r) {
+		t.Fatalf("semijoin with nonempty disjoint relation = %v, want %v", got, r)
+	}
+}
+
+func TestUnionReordersSchema(t *testing.T) {
+	r := rel(t, []string{"A", "B"}, []int64{1, 10})
+	s := rel(t, []string{"B", "A"}, []int64{10, 1}, []int64{20, 2})
+	u := r.Union(s)
+	want := rel(t, []string{"A", "B"}, []int64{1, 10}, []int64{2, 20})
+	if !u.Equal(want) {
+		t.Fatalf("union = %v, want %v", u, want)
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := rel(t, []string{"A", "B"}, []int64{1, 2})
+	n := r.Rename(map[string]string{"B": "C"})
+	if !n.HasAttr("C") || n.HasAttr("B") || !n.Has(1, 2) {
+		t.Fatalf("rename = %v", n)
+	}
+}
+
+func TestSortedAndOrder(t *testing.T) {
+	r := rel(t, []string{"A", "B"},
+		[]int64{2, 1}, []int64{1, 2}, []int64{1, 1})
+	s := r.Sorted("A")
+	got := s.Tuples()
+	wantOrder := []Tuple{{1, 1}, {1, 2}, {2, 1}}
+	for i, w := range wantOrder {
+		if got[i][0] != w[0] || got[i][1] != w[1] {
+			t.Fatalf("Sorted order[%d] = %v, want %v", i, got[i], w)
+		}
+	}
+
+	o := r.Order("A")
+	if !o.HasAttr(OrderAttr) {
+		t.Fatal("Order did not add order column")
+	}
+	if !o.Has(1, 1, 1) || !o.Has(1, 2, 2) || !o.Has(2, 1, 3) {
+		t.Fatalf("Order = %v", o)
+	}
+}
+
+func TestOrderTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double Order")
+		}
+	}()
+	rel(t, []string{"A"}, []int64{1}).Order("A").Order("A")
+}
+
+func TestAggregates(t *testing.T) {
+	r := rel(t, []string{"A", "B"},
+		[]int64{1, 5}, []int64{1, 7}, []int64{2, 3})
+	cnt := r.GroupCount("A")
+	if !cnt.Has(1, 2) || !cnt.Has(2, 1) || cnt.Len() != 2 {
+		t.Fatalf("count = %v", cnt)
+	}
+	sum := r.Aggregate([]string{"A"}, AggSum, "B", "s")
+	if !sum.Has(1, 12) || !sum.Has(2, 3) {
+		t.Fatalf("sum = %v", sum)
+	}
+	mn := r.Aggregate([]string{"A"}, AggMin, "B", "m")
+	if !mn.Has(1, 5) || !mn.Has(2, 3) {
+		t.Fatalf("min = %v", mn)
+	}
+	mx := r.Aggregate([]string{"A"}, AggMax, "B", "m")
+	if !mx.Has(1, 7) || !mx.Has(2, 3) {
+		t.Fatalf("max = %v", mx)
+	}
+}
+
+func TestAggregateEmptyGroup(t *testing.T) {
+	r := rel(t, []string{"A"}, []int64{1}, []int64{2}, []int64{3})
+	c := r.Aggregate(nil, AggCount, "", "count")
+	if c.Len() != 1 || !c.Has(3) {
+		t.Fatalf("global count = %v", c)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	r := rel(t, []string{"A", "B"},
+		[]int64{1, 1}, []int64{1, 2}, []int64{1, 3}, []int64{2, 1})
+	if d := r.Degree("A"); d != 3 {
+		t.Fatalf("deg(A) = %d, want 3", d)
+	}
+	if d := r.Degree("B"); d != 2 {
+		t.Fatalf("deg(B) = %d, want 2", d)
+	}
+	if d := r.Degree(); d != 4 {
+		t.Fatalf("deg(∅) = %d, want |R| = 4", d)
+	}
+	if d := r.Degree("A", "B"); d != 1 {
+		t.Fatalf("deg(A,B) = %d, want 1", d)
+	}
+}
+
+func TestEqualIgnoresSchemaOrder(t *testing.T) {
+	r := rel(t, []string{"A", "B"}, []int64{1, 2})
+	s := rel(t, []string{"B", "A"}, []int64{2, 1})
+	if !r.Equal(s) {
+		t.Fatal("Equal should ignore attribute order")
+	}
+	s2 := rel(t, []string{"B", "A"}, []int64{1, 2})
+	if r.Equal(s2) {
+		t.Fatal("Equal matched different tuples")
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	names := map[AggKind]string{AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("AggKind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+// randomRel builds a random relation over schema with values in [0, dom).
+func randomRel(rng *rand.Rand, schema []string, n, dom int) *Relation {
+	r := New(schema...)
+	for i := 0; i < n; i++ {
+		row := make([]int64, len(schema))
+		for j := range row {
+			row[j] = int64(rng.Intn(dom))
+		}
+		r.Insert(row...)
+	}
+	return r
+}
+
+// TestJoinAgainstNestedLoop cross-checks the hash join against a nested
+// loop reference on random instances.
+func TestJoinAgainstNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 50; iter++ {
+		r := randomRel(rng, []string{"A", "B"}, 20, 5)
+		s := randomRel(rng, []string{"B", "C"}, 20, 5)
+		j := r.NaturalJoin(s)
+
+		want := New("A", "B", "C")
+		r.Each(func(rt Tuple) {
+			s.Each(func(st Tuple) {
+				if rt[1] == st[0] {
+					want.Insert(rt[0], rt[1], st[1])
+				}
+			})
+		})
+		if !j.Equal(want) {
+			t.Fatalf("iter %d: join mismatch:\n got %v\nwant %v", iter, j, want)
+		}
+	}
+}
+
+// Property: |R ⋈ S| ≤ |R| · deg_S(common) (the degree-bounded join size
+// bound that the circuit constructions rely on).
+func TestJoinSizeDegreeBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		r := randomRel(local, []string{"A", "B"}, 30, 6)
+		s := randomRel(local, []string{"B", "C"}, 30, 6)
+		j := r.NaturalJoin(s)
+		return j.Len() <= r.Len()*s.Degree("B")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: projection never increases cardinality and is idempotent.
+func TestProjectionProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		r := randomRel(local, []string{"A", "B", "C"}, 40, 4)
+		p := r.Project("A", "B")
+		return p.Len() <= r.Len() && p.Project("A", "B").Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: semijoin is the projection of the join onto R's schema.
+func TestSemiJoinIsJoinProjection(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		r := randomRel(local, []string{"A", "B"}, 25, 5)
+		s := randomRel(local, []string{"B", "C"}, 25, 5)
+		return r.SemiJoin(s).Equal(r.NaturalJoin(s).Project("A", "B"))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and idempotent (set semantics).
+func TestUnionProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		r := randomRel(local, []string{"A", "B"}, 20, 5)
+		s := randomRel(local, []string{"A", "B"}, 20, 5)
+		u1 := r.Union(s)
+		u2 := s.Union(r)
+		return u1.Equal(u2) && u1.Union(r).Equal(u1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := rel(t, []string{"A"}, []int64{1})
+	c := r.Clone()
+	c.Insert(2)
+	if r.Len() != 1 || c.Len() != 2 {
+		t.Fatalf("clone not deep: r=%v c=%v", r, c)
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	r := rel(t, []string{"A", "B"}, []int64{2, 1}, []int64{1, 2})
+	want := "[A B]{[1 2], [2 1]}"
+	if r.String() != want {
+		t.Fatalf("String = %q, want %q", r.String(), want)
+	}
+}

@@ -1,0 +1,67 @@
+package relcircuit
+
+import (
+	"math"
+
+	"circuitql/internal/expr"
+	"circuitql/internal/relation"
+)
+
+// DecompBranch is one sub-relation produced by the decomposition circuit
+// (Algorithm 2): Sub carries R_Y^{(j)} with deg_X ≤ Deg, Proj carries
+// Π_X(R_Y^{(j)}) with |Π_X| ≤ NX, and NX·Deg ≤ N (condition (4d)).
+type DecompBranch struct {
+	Sub  int
+	Proj int
+	NX   float64
+	Deg  float64
+}
+
+// Decompose emits the decomposition circuit of Algorithm 2 on gate in (a
+// relation over yAttrs with |R| ≤ card), splitting at xAttrs ⊂ yAttrs.
+// It returns 2k branches, k = 1 + ⌊log₂ card⌋, that partition the input:
+// branch pairs (2i-1, 2i) hold the tuples whose X-degree lies in
+// [2^(i-1), 2^i), split into odd/even order positions so each half has
+// degree at most 2^(i-1).
+func Decompose(c *Circuit, in int, xAttrs []string, card float64) []DecompBranch {
+	yAttrs := c.Gates[in].Schema
+	n := Ceil(card)
+	k := 1
+	for 1<<uint(k) <= n {
+		k++
+	}
+
+	// Line 1: R_{Y,count} ← R_Y ⋈ Π_{X,count}(R_Y).
+	cnt := c.Agg(in, xAttrs, relation.AggCount, "", "count", Card(card).WithDeg(xAttrs, 1))
+	withCount := c.Join(in, cnt, Card(card))
+
+	var out []DecompBranch
+	for i := 1; i <= k; i++ {
+		lo := int64(1) << uint(i-1)
+		hi := int64(1) << uint(i)
+		nx := math.Floor(float64(n) / float64(lo))
+		if nx < 1 {
+			nx = 1
+		}
+		deg := float64(lo)
+		// Lines 4-6: select the degree bucket, order by X, split by
+		// parity of the position.
+		sel := c.Select(withCount, expr.InRange("count", lo, hi), Card(card))
+		ti := c.Project(sel, yAttrs, Card(card).WithDeg(xAttrs, 2*deg))
+		ord := c.Order(ti, xAttrs, Card(card))
+		for parity := 0; parity < 2; parity++ {
+			var pred expr.Expr
+			if parity == 0 {
+				pred = expr.IsOdd(relation.OrderAttr)
+			} else {
+				pred = expr.IsEven(relation.OrderAttr)
+			}
+			ps := c.Select(ord, pred, Card(card))
+			sub := c.Project(ps, yAttrs,
+				Card(math.Min(card, nx*deg)).WithDeg(xAttrs, deg).WithDeg(yAttrs, 1))
+			proj := c.Project(sub, xAttrs, Card(nx).WithDeg(xAttrs, 1))
+			out = append(out, DecompBranch{Sub: sub, Proj: proj, NX: nx, Deg: deg})
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package relcircuit
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDot renders the relational circuit in Graphviz DOT format, one
+// node per gate labeled with its operator, schema, and cardinality
+// bound. Output gates are drawn with a double border; edges follow the
+// wires. Render with `dot -Tsvg`.
+func (c *Circuit) WriteDot(w io.Writer, name string) error {
+	if name == "" {
+		name = "circuit"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\", fontsize=10];\n", name)
+	isOut := map[int]bool{}
+	for _, o := range c.Outputs {
+		isOut[o] = true
+	}
+	for _, g := range c.Gates {
+		label := fmt.Sprintf("g%d %s\\n%s\\n|%s| ≤ %.6g",
+			g.ID, escape(g.Label), strings.Join(g.Schema, ","), "R", g.Out.Card)
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		if g.Kind == KindInput {
+			attrs += ", style=filled, fillcolor=lightgrey"
+		}
+		if isOut[g.ID] {
+			attrs += ", peripheries=2"
+		}
+		fmt.Fprintf(&b, "  g%d [%s];\n", g.ID, attrs)
+		for _, in := range g.In {
+			fmt.Fprintf(&b, "  g%d -> g%d;\n", in, g.ID)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

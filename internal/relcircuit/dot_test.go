@@ -1,0 +1,43 @@
+package relcircuit
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	c := New()
+	r := c.Input("R", []string{"A", "B"}, Card(4))
+	s := c.Input("S", []string{"B", "C"}, Card(4))
+	j := c.Join(r, s, Card(16))
+	c.MarkOutput(j)
+	var sb strings.Builder
+	if err := c.WriteDot(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph \"test\"",
+		"g0 ", "g1 ", "g2 ",
+		"g0 -> g2", "g1 -> g2",
+		"peripheries=2",       // output marker
+		"fillcolor=lightgrey", // input marker
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDotEscapes(t *testing.T) {
+	c := New()
+	g := c.Input(`R"x`, []string{"A"}, Card(1))
+	c.MarkOutput(g)
+	var sb strings.Builder
+	if err := c.WriteDot(&sb, ""); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `R"x\n`) {
+		t.Fatal("quote not escaped")
+	}
+}

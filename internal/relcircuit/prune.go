@@ -1,0 +1,48 @@
+package relcircuit
+
+// Prune returns a copy of the circuit containing only gates reachable
+// from its outputs (plus every input gate, which represents a relation
+// the evaluator must accept), with ids renumbered, and the mapping from
+// old gate ids to new ones. PANDA-C's truncation path abandons the
+// partially-built gates of plans it restarts away from; pruning before
+// the oblivious lowering keeps the word-gate count proportional to the
+// gates that matter.
+func (c *Circuit) Prune() (*Circuit, map[int]int) {
+	live := make([]bool, len(c.Gates))
+	var mark func(int)
+	mark = func(id int) {
+		if live[id] {
+			return
+		}
+		live[id] = true
+		for _, in := range c.Gates[id].In {
+			mark(in)
+		}
+	}
+	for _, o := range c.Outputs {
+		mark(o)
+	}
+	for _, g := range c.Gates {
+		if g.Kind == KindInput {
+			live[g.ID] = true
+		}
+	}
+
+	out := New()
+	mapping := make(map[int]int, len(c.Gates))
+	for _, g := range c.Gates {
+		if !live[g.ID] {
+			continue
+		}
+		ng := g // copy
+		ng.In = make([]int, len(g.In))
+		for i, in := range g.In {
+			ng.In[i] = mapping[in]
+		}
+		mapping[g.ID] = out.push(ng)
+	}
+	for _, o := range c.Outputs {
+		out.Outputs = append(out.Outputs, mapping[o])
+	}
+	return out, mapping
+}

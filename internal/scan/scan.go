@@ -1,0 +1,122 @@
+// Package scan implements the ⊕-scan (prefix sums, Algorithm 4) and
+// ⊕-segmented-scan (Section 5.1) circuits: Õ(N) size, Õ(1) depth
+// Hillis-Steele networks over wires of an oblivious circuit.
+package scan
+
+import (
+	"circuitql/internal/boolcircuit"
+)
+
+// Op is a binary associative operator realized as circuit gates.
+type Op func(c *boolcircuit.Circuit, a, b int) int
+
+// Add is integer addition.
+func Add(c *boolcircuit.Circuit, a, b int) int { return c.Add(a, b) }
+
+// Max returns the maximum.
+func Max(c *boolcircuit.Circuit, a, b int) int { return c.Mux(c.Lt(a, b), b, a) }
+
+// Min returns the minimum.
+func Min(c *boolcircuit.Circuit, a, b int) int { return c.Mux(c.Lt(a, b), a, b) }
+
+// Copy is the repetition operator c1 ⊕ c2 = c1 of the primary-key join
+// circuit (Section 5.3).
+func Copy(_ *boolcircuit.Circuit, a, _ int) int { return a }
+
+// Scan computes the inclusive prefix combination of xs under op
+// (Algorithm 4): out[j] = x_0 ⊕ ... ⊕ x_j. op must be associative.
+func Scan(c *boolcircuit.Circuit, xs []int, op Op) []int {
+	cur := append([]int(nil), xs...)
+	n := len(cur)
+	for d := 1; d < n; d <<= 1 {
+		next := append([]int(nil), cur...)
+		for j := d; j < n; j++ {
+			next[j] = op(c, cur[j-d], cur[j])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// SegmentedScan computes, for each position j, the ⊕-combination of the
+// maximal run of equal keys ending at j: the ⊕̄-scan of Section 5.1.
+// keys[j] lists the key wires of element j; equal keys must be
+// contiguous (sort first). The keys themselves are not modified.
+func SegmentedScan(c *boolcircuit.Circuit, keys [][]int, vals []int, op Op) []int {
+	if len(keys) != len(vals) {
+		panic("scan: keys and vals length mismatch")
+	}
+	cur := append([]int(nil), vals...)
+	n := len(cur)
+	for d := 1; d < n; d <<= 1 {
+		next := append([]int(nil), cur...)
+		for j := d; j < n; j++ {
+			eq := keysEqual(c, keys[j-d], keys[j])
+			next[j] = c.Mux(eq, op(c, cur[j-d], cur[j]), cur[j])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// VecOp combines two equal-length wire vectors.
+type VecOp func(c *boolcircuit.Circuit, a, b []int) []int
+
+// SegmentedScanVec is SegmentedScan for vector-valued elements: the
+// primary-key join circuit scans whole payloads (several columns at
+// once) segment by segment.
+func SegmentedScanVec(c *boolcircuit.Circuit, keys [][]int, vals [][]int, op VecOp) [][]int {
+	if len(keys) != len(vals) {
+		panic("scan: keys and vals length mismatch")
+	}
+	cur := make([][]int, len(vals))
+	for i, v := range vals {
+		cur[i] = append([]int(nil), v...)
+	}
+	n := len(cur)
+	for d := 1; d < n; d <<= 1 {
+		next := make([][]int, n)
+		for i := range cur {
+			next[i] = cur[i]
+		}
+		for j := d; j < n; j++ {
+			eq := keysEqual(c, keys[j-d], keys[j])
+			combined := op(c, cur[j-d], cur[j])
+			muxed := make([]int, len(combined))
+			for i := range combined {
+				muxed[i] = c.Mux(eq, combined[i], cur[j][i])
+			}
+			next[j] = muxed
+		}
+		cur = next
+	}
+	return cur
+}
+
+// keysEqual builds the conjunction of per-column equalities.
+func keysEqual(c *boolcircuit.Circuit, a, b []int) int {
+	if len(a) != len(b) {
+		panic("scan: key width mismatch")
+	}
+	acc := c.Const(1)
+	for i := range a {
+		acc = c.And(acc, c.Eq(a[i], b[i]))
+	}
+	return acc
+}
+
+// MaskKeys returns keys with every column of invalid slots replaced by
+// the sentinel value, so that all dummy slots share one segment and never
+// merge with a real one. sentinel must be outside the value domain.
+func MaskKeys(c *boolcircuit.Circuit, slots []boolcircuit.Slot, keyIdx []int, sentinel int64) [][]int {
+	s := c.Const(sentinel)
+	out := make([][]int, len(slots))
+	for j, sl := range slots {
+		ks := make([]int, len(keyIdx))
+		for i, k := range keyIdx {
+			ks[i] = c.Mux(sl.Valid, sl.Cols[k], s)
+		}
+		out[j] = ks
+	}
+	return out
+}

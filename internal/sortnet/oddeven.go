@@ -1,0 +1,91 @@
+package sortnet
+
+import (
+	"circuitql/internal/boolcircuit"
+)
+
+// SortOddEven sorts with Batcher's odd-even mergesort network — the
+// same Õ(K) size and Õ(1) depth class as the bitonic sorter, with about
+// 25-30% fewer comparators in practice. Same contract as Sort: less must
+// order invalid slots last, padding to a power of two is internal.
+func SortOddEven(c *boolcircuit.Circuit, slots []boolcircuit.Slot, less Less) []boolcircuit.Slot {
+	k := len(slots)
+	if k <= 1 {
+		return append([]boolcircuit.Slot(nil), slots...)
+	}
+	n := 1
+	for n < k {
+		n <<= 1
+	}
+	work := make([]boolcircuit.Slot, n)
+	copy(work, slots)
+	width := len(slots[0].Cols)
+	zero := c.Const(0)
+	for i := k; i < n; i++ {
+		pad := boolcircuit.Slot{Valid: zero, Cols: make([]int, width)}
+		for j := range pad.Cols {
+			pad.Cols[j] = zero
+		}
+		work[i] = pad
+	}
+	oemSort(c, work, 0, n, less)
+	return work[:k]
+}
+
+// oemSort sorts work[lo:lo+n] (n a power of two).
+func oemSort(c *boolcircuit.Circuit, work []boolcircuit.Slot, lo, n int, less Less) {
+	if n <= 1 {
+		return
+	}
+	m := n / 2
+	oemSort(c, work, lo, m, less)
+	oemSort(c, work, lo+m, m, less)
+	oemMerge(c, work, lo, n, 1, less)
+}
+
+// oemMerge merges the two sorted halves of work[lo:lo+n] considering
+// elements at stride r.
+func oemMerge(c *boolcircuit.Circuit, work []boolcircuit.Slot, lo, n, r int, less Less) {
+	m := r * 2
+	if m < n {
+		oemMerge(c, work, lo, n, m, less)
+		oemMerge(c, work, lo+r, n, m, less)
+		for i := lo + r; i+r < lo+n; i += m {
+			work[i], work[i+r] = compareExchange(c, work[i], work[i+r], less, true)
+		}
+		return
+	}
+	work[lo], work[lo+r] = compareExchange(c, work[lo], work[lo+r], less, true)
+}
+
+// OddEvenComparatorCount returns the comparator count of the odd-even
+// mergesort network for k slots (after power-of-two padding).
+func OddEvenComparatorCount(k int) int {
+	if k <= 1 {
+		return 0
+	}
+	n := 1
+	for n < k {
+		n <<= 1
+	}
+	var sortCount func(n int) int
+	var mergeCount func(n, r int) int
+	mergeCount = func(n, r int) int {
+		m := r * 2
+		if m < n {
+			cnt := mergeCount(n, m) + mergeCount(n, m)
+			for i := r; i+r < n; i += m {
+				cnt++
+			}
+			return cnt
+		}
+		return 1
+	}
+	sortCount = func(n int) int {
+		if n <= 1 {
+			return 0
+		}
+		return 2*sortCount(n/2) + mergeCount(n, 1)
+	}
+	return sortCount(n)
+}

@@ -1,0 +1,138 @@
+// Package sortnet implements sorting networks over tuple slots: the
+// bitonic sorter of Batcher [9], which realizes the paper's ordering
+// operator τ with Õ(K) size (K log² K compare-exchanges) and Õ(1) depth
+// (log² K comparator levels). The paper permits either the bitonic or
+// the AKS network; AKS has asymptotically optimal O(K log K) size but
+// astronomically large constants, so production circuit constructions use
+// bitonic (see DESIGN.md, substitution 2).
+package sortnet
+
+import (
+	"circuitql/internal/boolcircuit"
+)
+
+// Less is a circuit comparator: it returns a 0/1 wire that is 1 when
+// slot a must be placed before slot b. Comparators used with Sort must
+// place invalid (dummy) slots after all valid slots, because Sort pads
+// its input to a power of two with invalid slots and strips the padding
+// from the tail afterwards.
+type Less func(c *boolcircuit.Circuit, a, b boolcircuit.Slot) int
+
+// KeyLess returns the standard comparator: valid slots first, then
+// ascending lexicographic order on the column indices keys.
+func KeyLess(keys []int) Less {
+	return func(c *boolcircuit.Circuit, a, b boolcircuit.Slot) int {
+		// lex compare from the last key backwards.
+		acc := c.Const(0)
+		for i := len(keys) - 1; i >= 0; i-- {
+			ka, kb := a.Cols[keys[i]], b.Cols[keys[i]]
+			acc = c.Or(c.Lt(ka, kb), c.And(c.Eq(ka, kb), acc))
+		}
+		validFirst := c.Gt(a.Valid, b.Valid)
+		bothValid := c.Eq(a.Valid, b.Valid)
+		return c.Or(validFirst, c.And(bothValid, acc))
+	}
+}
+
+// AllColsLess returns KeyLess over every column, giving a canonical order
+// on whole tuples (used by projection/deduplication circuits).
+func AllColsLess(width int) Less {
+	keys := make([]int, width)
+	for i := range keys {
+		keys[i] = i
+	}
+	return KeyLess(keys)
+}
+
+// ValidFirstLess orders only by validity (valid slots before dummies);
+// the truncation circuit uses it.
+func ValidFirstLess() Less {
+	return func(c *boolcircuit.Circuit, a, b boolcircuit.Slot) int {
+		return c.Gt(a.Valid, b.Valid)
+	}
+}
+
+// compareExchange places min(a, b) at the first return slot when asc,
+// max otherwise.
+func compareExchange(c *boolcircuit.Circuit, a, b boolcircuit.Slot, less Less, asc bool) (boolcircuit.Slot, boolcircuit.Slot) {
+	swap := less(c, b, a) // b strictly before a -> out of order (ascending)
+	if !asc {
+		swap = less(c, a, b)
+	}
+	lo := boolcircuit.Slot{Valid: c.Mux(swap, b.Valid, a.Valid), Cols: make([]int, len(a.Cols))}
+	hi := boolcircuit.Slot{Valid: c.Mux(swap, a.Valid, b.Valid), Cols: make([]int, len(a.Cols))}
+	for i := range a.Cols {
+		lo.Cols[i] = c.Mux(swap, b.Cols[i], a.Cols[i])
+		hi.Cols[i] = c.Mux(swap, a.Cols[i], b.Cols[i])
+	}
+	return lo, hi
+}
+
+// Sort returns the slots in ascending order under less. The input length
+// is arbitrary; internally the network pads to a power of two with
+// invalid slots, which less must order last (KeyLess and friends do).
+func Sort(c *boolcircuit.Circuit, slots []boolcircuit.Slot, less Less) []boolcircuit.Slot {
+	k := len(slots)
+	if k <= 1 {
+		return append([]boolcircuit.Slot(nil), slots...)
+	}
+	n := 1
+	for n < k {
+		n <<= 1
+	}
+	work := make([]boolcircuit.Slot, n)
+	copy(work, slots)
+	width := len(slots[0].Cols)
+	zero := c.Const(0)
+	for i := k; i < n; i++ {
+		pad := boolcircuit.Slot{Valid: zero, Cols: make([]int, width)}
+		for j := range pad.Cols {
+			pad.Cols[j] = zero
+		}
+		work[i] = pad
+	}
+
+	for span := 2; span <= n; span <<= 1 {
+		for j := span >> 1; j > 0; j >>= 1 {
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				asc := i&span == 0
+				work[i], work[l] = compareExchange(c, work[i], work[l], less, asc)
+			}
+		}
+	}
+	return work[:k]
+}
+
+// ComparatorCount returns the number of compare-exchange operations the
+// bitonic network performs for k slots (after padding), for size
+// accounting: (n/2)·log n·(log n + 1)/2 with n the padded size.
+func ComparatorCount(k int) int {
+	if k <= 1 {
+		return 0
+	}
+	n := 1
+	logn := 0
+	for n < k {
+		n <<= 1
+		logn++
+	}
+	if n == 1 {
+		return 0
+	}
+	if logn == 0 {
+		logn = 1
+	}
+	return n / 2 * logn * (logn + 1) / 2
+}
+
+// SortNetwork is the sorting network the operator circuits use: the
+// odd-even mergesort, which needs ~25-30% fewer comparators than the
+// bitonic network at the same Õ(K) size and Õ(1) depth. Both networks
+// remain exported for the ablation benchmarks.
+func SortNetwork(c *boolcircuit.Circuit, slots []boolcircuit.Slot, less Less) []boolcircuit.Slot {
+	return SortOddEven(c, slots, less)
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFitPowerLawExact(t *testing.T) {
+	xs := []float64{2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 1.5)
+	}
+	k, c := FitPowerLaw(xs, ys)
+	if math.Abs(k-1.5) > 1e-9 || math.Abs(c-3) > 1e-9 {
+		t.Fatalf("fit = (%g, %g), want (1.5, 3)", k, c)
+	}
+}
+
+func TestFitPowerLawNoisy(t *testing.T) {
+	xs := []float64{10, 100, 1000, 10000}
+	ys := []float64{105, 9800, 1.03e6, 0.97e8}
+	k, _ := FitPowerLaw(xs, ys)
+	if math.Abs(k-2) > 0.05 {
+		t.Fatalf("noisy quadratic fit exponent = %g", k)
+	}
+}
+
+func TestFitPowerLawPanics(t *testing.T) {
+	cases := []func(){
+		func() { FitPowerLaw([]float64{1}, []float64{1}) },
+		func() { FitPowerLaw([]float64{1, 2}, []float64{1}) },
+		func() { FitPowerLaw([]float64{1, -2}, []float64{1, 2}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("N", "cost", "ratio")
+	tb.Row(16, 4096.0, 1.234567)
+	tb.Row(256, 65536.0, 0.5)
+	s := tb.String()
+	if !strings.Contains(s, "N") || !strings.Contains(s, "4096") || !strings.Contains(s, "1.23") {
+		t.Fatalf("table = %q", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+}

@@ -32,14 +32,13 @@
 package circuitql
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
 
 	"circuitql/internal/bitblast"
-	"circuitql/internal/bound"
 	"circuitql/internal/core"
-	"circuitql/internal/ghd"
 	"circuitql/internal/panda"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
@@ -85,7 +84,9 @@ func DeriveConstraints(q *Query, db Database) (DCSet, error) { return query.Deri
 
 // EvaluateRAM is the reference (non-circuit) evaluator, used for
 // cross-checking.
-func EvaluateRAM(q *Query, db Database) (*Relation, error) { return query.Evaluate(q, db) }
+func EvaluateRAM(q *Query, db Database) (*Relation, error) {
+	return EvaluateRAMCtx(context.Background(), q, db)
+}
 
 // CompiledQuery is a fully compiled worst-case-optimal circuit for a
 // full conjunctive query (Theorems 3-4).
@@ -96,25 +97,21 @@ type CompiledQuery struct {
 // Compile builds the PANDA-C relational circuit and its oblivious
 // lowering for a full CQ under the given constraints.
 func Compile(q *Query, dcs DCSet) (*CompiledQuery, error) {
-	c, err := core.CompileQuery(q, dcs)
-	if err != nil {
-		return nil, err
-	}
-	return &CompiledQuery{inner: c}, nil
+	return CompileCtx(context.Background(), q, dcs)
 }
 
 // Evaluate runs the oblivious circuit on db and returns Q(D). The same
 // CompiledQuery evaluates any database conforming to the constraints it
 // was compiled for.
 func (c *CompiledQuery) Evaluate(db Database) (*Relation, error) {
-	return c.inner.EvaluateOblivious(db)
+	return c.EvaluateCtx(context.Background(), db)
 }
 
 // EvaluateRelational runs the relational-circuit layer (faster; same
 // result), optionally verifying that every wire conforms to its declared
 // bound.
 func (c *CompiledQuery) EvaluateRelational(db Database, check bool) (*Relation, error) {
-	return c.inner.EvaluateRelational(db, check)
+	return c.EvaluateRelationalCtx(context.Background(), db, check)
 }
 
 // Stats summarizes the compiled circuits.
@@ -257,11 +254,7 @@ type BooleanQuery struct {
 // CompileBoolean compiles a Boolean conjunctive query (no free
 // variables) into an oblivious decision circuit.
 func CompileBoolean(q *Query, dcs DCSet) (*BooleanQuery, error) {
-	bc, err := core.CompileBoolean(q, dcs)
-	if err != nil {
-		return nil, err
-	}
-	return &BooleanQuery{inner: bc}, nil
+	return CompileBooleanCtx(context.Background(), q, dcs)
 }
 
 // Decide evaluates the decision circuit on db.
@@ -275,11 +268,7 @@ func (b *BooleanQuery) Stats() (gates, depth int) {
 // PolymatroidBound returns LOGDAPB(Q) in bits (log₂ of the worst-case
 // output size bound) under the constraints.
 func PolymatroidBound(q *Query, dcs DCSet) (*big.Rat, error) {
-	res, err := bound.LogDAPB(q, dcs)
-	if err != nil {
-		return nil, err
-	}
-	return res.LogValue, nil
+	return PolymatroidBoundCtx(context.Background(), q, dcs)
 }
 
 // Widths bundles the width measures of Sections 6-7.
@@ -292,21 +281,7 @@ type Widths struct {
 // ComputeWidths returns fhtw, da-fhtw, and da-subw for the query
 // (free-connex variants for non-full queries).
 func ComputeWidths(q *Query, dcs DCSet) (Widths, error) {
-	var w Widths
-	f, _, err := ghd.Fhtw(q)
-	if err != nil {
-		return w, err
-	}
-	df, _, err := ghd.DAFhtw(q, dcs)
-	if err != nil {
-		return w, err
-	}
-	ds, err := ghd.DASubw(q, dcs, 24)
-	if err != nil {
-		return w, err
-	}
-	w.Fhtw, w.DAFhtw, w.DASubw = f, df, ds
-	return w, nil
+	return ComputeWidthsCtx(context.Background(), q, dcs)
 }
 
 // OutputSensitiveQuery bundles the two circuit families of Theorem 5.
@@ -318,15 +293,7 @@ type OutputSensitiveQuery struct {
 // OutputSensitive prepares the output-sensitive pipeline: a GHD plan of
 // degree-aware-fhtw-optimal width and the OUT-computing circuit.
 func OutputSensitive(q *Query, dcs DCSet) (*OutputSensitiveQuery, error) {
-	plan, err := yannakakis.NewPlan(q, dcs)
-	if err != nil {
-		return nil, err
-	}
-	cc, err := plan.CompileCount()
-	if err != nil {
-		return nil, err
-	}
-	return &OutputSensitiveQuery{plan: plan, count: cc}, nil
+	return OutputSensitiveCtx(context.Background(), q, dcs)
 }
 
 // Count evaluates the first circuit family: |Q(D)| from DC alone.
@@ -343,15 +310,7 @@ func (o *OutputSensitiveQuery) EvalCircuit(out int) (*yannakakis.EvalCircuit, er
 // Evaluate runs the full two-phase protocol: count, then build and run
 // the evaluation circuit with OUT = |Q(D)|.
 func (o *OutputSensitiveQuery) Evaluate(db Database) (*Relation, error) {
-	n, err := o.Count(db)
-	if err != nil {
-		return nil, err
-	}
-	ec, err := o.EvalCircuit(n)
-	if err != nil {
-		return nil, err
-	}
-	return ec.Evaluate(db, false)
+	return o.EvaluateCtx(context.Background(), db)
 }
 
 // CountCircuitStats reports the OUT-circuit's relational stats.

@@ -13,7 +13,11 @@
 package boolcircuit
 
 import (
+	"context"
 	"fmt"
+
+	"circuitql/internal/faultinject"
+	"circuitql/internal/guard"
 )
 
 // Op enumerates gate operations.
@@ -227,12 +231,31 @@ func (c *Circuit) Mux(cond, a, b int) int {
 // marking order. Evaluation order is the fixed gate order — the access
 // pattern is input independent by construction.
 func (c *Circuit) Evaluate(inputs []int64) ([]int64, error) {
+	return c.EvaluateCtx(context.Background(), inputs)
+}
+
+// EvaluateCtx is Evaluate under a context. The gate loop polls ctx every
+// 4096 gates (word gates are nanosecond-scale; finer polling would
+// dominate the work) and, when ctx carries a faultinject.Injector, each
+// gate reports to the word-gate site.
+func (c *Circuit) EvaluateCtx(ctx context.Context, inputs []int64) ([]int64, error) {
 	if len(inputs) != len(c.inputs) {
 		return nil, fmt.Errorf("boolcircuit: got %d inputs, want %d", len(inputs), len(c.inputs))
 	}
+	inj := faultinject.FromContext(ctx)
 	vals := make([]int64, len(c.gates))
 	next := 0
 	for i, g := range c.gates {
+		if i&0xfff == 0 {
+			if err := guard.Poll(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if inj != nil {
+			if err := inj.Hit(faultinject.SiteWordGate); err != nil {
+				return nil, fmt.Errorf("boolcircuit: gate %d: %w", i, err)
+			}
+		}
 		switch g.Op {
 		case OpInput:
 			vals[i] = inputs[next]

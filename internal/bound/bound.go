@@ -8,6 +8,7 @@
 package bound
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
@@ -96,16 +97,27 @@ func LogDAPB(q *query.Query, dcs query.DCSet) (*Result, error) {
 	return LogBound(q, dcs, q.AllVars())
 }
 
+// LogDAPBCtx is LogDAPB under a context: the underlying exact LP polls
+// ctx and charges pivots against any attached guard.Budget.
+func LogDAPBCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (*Result, error) {
+	return LogBoundCtx(ctx, q, dcs, q.AllVars())
+}
+
 // LogBound computes max h(target) over Γ_n ∩ HDC for an arbitrary
 // non-empty target ⊆ [n] (used per GHD bag by the width computations).
 func LogBound(q *query.Query, dcs query.DCSet, target query.VarSet) (*Result, error) {
+	return LogBoundCtx(context.Background(), q, dcs, target)
+}
+
+// LogBoundCtx is LogBound under a context.
+func LogBoundCtx(ctx context.Context, q *query.Query, dcs query.DCSet, target query.VarSet) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	if err := dcs.Validate(q); err != nil {
 		return nil, err
 	}
-	return LogBoundRaw(q, dcs, target)
+	return LogBoundRawCtx(ctx, q, dcs, target)
 }
 
 // LogBoundRaw is LogBound without the requirement that every constraint's
@@ -115,6 +127,11 @@ func LogBound(q *query.Query, dcs query.DCSet, target query.VarSet) (*Result, er
 // subsets of [n]; this entry point serves that case. Constraints must
 // still satisfy X ⊆ Y and N ≥ 1.
 func LogBoundRaw(q *query.Query, dcs query.DCSet, target query.VarSet) (*Result, error) {
+	return LogBoundRawCtx(context.Background(), q, dcs, target)
+}
+
+// LogBoundRawCtx is LogBoundRaw under a context.
+func LogBoundRawCtx(ctx context.Context, q *query.Query, dcs query.DCSet, target query.VarSet) (*Result, error) {
 	for _, dc := range dcs {
 		if !dc.X.SubsetOf(dc.Y) || dc.N < 1 {
 			return nil, fmt.Errorf("bound: malformed constraint %s", dc.Label(q.VarNames))
@@ -195,7 +212,7 @@ func LogBoundRaw(q *query.Query, dcs query.DCSet, target query.VarSet) (*Result,
 		moRows = append(moRows, moRow{row: r, v: i})
 	}
 
-	sol, err := p.Solve()
+	sol, err := p.SolveCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"circuitql/internal/expr"
@@ -29,11 +30,16 @@ const ResultAttr = "result"
 // count and a threshold (count ≥ 1). The output relation always
 // contains exactly one tuple over {result}.
 func CompileBoolean(q *query.Query, dcs query.DCSet) (*BooleanCircuit, error) {
+	return CompileBooleanCtx(context.Background(), q, dcs)
+}
+
+// CompileBooleanCtx is CompileBoolean under a context (see CompileQueryCtx).
+func CompileBooleanCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (*BooleanCircuit, error) {
 	if !q.IsBoolean() {
 		return nil, fmt.Errorf("core: %s is not a Boolean query", q)
 	}
 	full := &query.Query{VarNames: q.VarNames, Free: q.AllVars(), Atoms: q.Atoms}
-	res, err := panda.Compile(full, dcs, full.AllVars())
+	res, err := panda.CompileCtx(ctx, full, dcs, full.AllVars())
 	if err != nil {
 		return nil, err
 	}
@@ -48,7 +54,7 @@ func CompileBoolean(q *query.Query, dcs query.DCSet) (*BooleanCircuit, error) {
 	c.Outputs = nil // the decision bit supersedes the join output
 	c.MarkOutput(out)
 
-	obl, err := CompileOblivious(c)
+	obl, err := CompileObliviousCtx(ctx, c)
 	if err != nil {
 		return nil, err
 	}
@@ -57,11 +63,16 @@ func CompileBoolean(q *query.Query, dcs query.DCSet) (*BooleanCircuit, error) {
 
 // Decide evaluates the oblivious decision circuit.
 func (bc *BooleanCircuit) Decide(db query.Database) (bool, error) {
+	return bc.DecideCtx(context.Background(), db)
+}
+
+// DecideCtx is Decide under a context.
+func (bc *BooleanCircuit) DecideCtx(ctx context.Context, db query.Database) (bool, error) {
 	pdb, err := panda.PrepareDB(bc.Query, db)
 	if err != nil {
 		return false, err
 	}
-	outs, err := bc.Obliv.Evaluate(pdb)
+	outs, err := bc.Obliv.EvaluateCtx(ctx, pdb)
 	if err != nil {
 		return false, err
 	}

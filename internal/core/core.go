@@ -11,11 +11,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"circuitql/internal/boolcircuit"
 	"circuitql/internal/bound"
+	"circuitql/internal/guard"
 	"circuitql/internal/opcircuits"
 	"circuitql/internal/panda"
 	"circuitql/internal/query"
@@ -55,6 +57,15 @@ type ObliviousCircuit struct {
 // join when the degree bound is 1, degree-bounded join otherwise,
 // cross product when there are no common attributes).
 func CompileOblivious(rc *relcircuit.Circuit) (*ObliviousCircuit, error) {
+	return CompileObliviousCtx(context.Background(), rc)
+}
+
+// CompileObliviousCtx is CompileOblivious under a context: the lowering
+// loop polls ctx per relational gate and charges the growing word-level
+// gate count against any guard.Budget gate cap, so a tight budget aborts
+// the lowering instead of materialising an enormous circuit.
+func CompileObliviousCtx(ctx context.Context, rc *relcircuit.Circuit) (*ObliviousCircuit, error) {
+	budget := guard.FromContext(ctx)
 	c := boolcircuit.New()
 	oc := &ObliviousCircuit{C: c}
 	vals := make([]opcircuits.ORel, len(rc.Gates))
@@ -67,6 +78,9 @@ func CompileOblivious(rc *relcircuit.Circuit) (*ObliviousCircuit, error) {
 	}
 
 	for _, g := range rc.Gates {
+		if err := budget.CheckGates(ctx, c.Size()); err != nil {
+			return nil, err
+		}
 		capacity, err := capOf(g)
 		if err != nil {
 			return nil, err
@@ -132,6 +146,11 @@ func CompileOblivious(rc *relcircuit.Circuit) (*ObliviousCircuit, error) {
 // every output. Relations must conform to the bounds the circuit was
 // compiled for (otherwise packing fails on capacity).
 func (oc *ObliviousCircuit) Evaluate(db map[string]*relation.Relation) (map[int]*relation.Relation, error) {
+	return oc.EvaluateCtx(context.Background(), db)
+}
+
+// EvaluateCtx is Evaluate under a context (see boolcircuit.EvaluateCtx).
+func (oc *ObliviousCircuit) EvaluateCtx(ctx context.Context, db map[string]*relation.Relation) (map[int]*relation.Relation, error) {
 	var inputs []int64
 	for _, spec := range oc.Inputs {
 		rel, ok := db[spec.Name]
@@ -144,7 +163,7 @@ func (oc *ObliviousCircuit) Evaluate(db map[string]*relation.Relation) (map[int]
 		}
 		inputs = append(inputs, packed...)
 	}
-	raw, err := oc.C.Evaluate(inputs)
+	raw, err := oc.C.EvaluateCtx(ctx, inputs)
 	if err != nil {
 		return nil, err
 	}
@@ -186,11 +205,18 @@ type Compiled struct {
 // CompileQuery runs the full pipeline for a full CQ: PANDA-C to a
 // relational circuit, then the oblivious lowering.
 func CompileQuery(q *query.Query, dcs query.DCSet) (*Compiled, error) {
-	res, err := panda.CompileFCQ(q, dcs)
+	return CompileQueryCtx(context.Background(), q, dcs)
+}
+
+// CompileQueryCtx is CompileQuery under a context: both the PANDA-C
+// compilation and the oblivious lowering poll ctx and respect any
+// guard.Budget it carries.
+func CompileQueryCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (*Compiled, error) {
+	res, err := panda.CompileFCQCtx(ctx, q, dcs)
 	if err != nil {
 		return nil, err
 	}
-	obl, err := CompileOblivious(res.Circuit)
+	obl, err := CompileObliviousCtx(ctx, res.Circuit)
 	if err != nil {
 		return nil, err
 	}
@@ -207,11 +233,16 @@ func CompileQuery(q *query.Query, dcs query.DCSet) (*Compiled, error) {
 // EvaluateOblivious runs the oblivious circuit on a database and returns
 // Q(D).
 func (cq *Compiled) EvaluateOblivious(db query.Database) (*relation.Relation, error) {
+	return cq.EvaluateObliviousCtx(context.Background(), db)
+}
+
+// EvaluateObliviousCtx is EvaluateOblivious under a context.
+func (cq *Compiled) EvaluateObliviousCtx(ctx context.Context, db query.Database) (*relation.Relation, error) {
 	pdb, err := panda.PrepareDB(cq.Query, db)
 	if err != nil {
 		return nil, err
 	}
-	outs, err := cq.Obliv.Evaluate(pdb)
+	outs, err := cq.Obliv.EvaluateCtx(ctx, pdb)
 	if err != nil {
 		return nil, err
 	}
@@ -221,11 +252,16 @@ func (cq *Compiled) EvaluateOblivious(db query.Database) (*relation.Relation, er
 // EvaluateRelational runs the relational circuit (the reference layer)
 // with optional bound checking.
 func (cq *Compiled) EvaluateRelational(db query.Database, check bool) (*relation.Relation, error) {
+	return cq.EvaluateRelationalCtx(context.Background(), db, check)
+}
+
+// EvaluateRelationalCtx is EvaluateRelational under a context.
+func (cq *Compiled) EvaluateRelationalCtx(ctx context.Context, db query.Database, check bool) (*relation.Relation, error) {
 	pdb, err := panda.PrepareDB(cq.Query, db)
 	if err != nil {
 		return nil, err
 	}
-	outs, err := cq.Rel.Evaluate(pdb, check)
+	outs, err := cq.Rel.EvaluateCtx(ctx, pdb, check)
 	if err != nil {
 		return nil, err
 	}

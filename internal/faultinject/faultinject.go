@@ -1,0 +1,199 @@
+// Package faultinject is a deterministic, seeded fault injector used to
+// prove the resilience layer's guarantees: that every fallback edge of
+// the tiered evaluator and every budget trip produces a clean typed
+// error — never a hang, never a crash.
+//
+// An Injector is armed with rules bound to named sites. Instrumented
+// code (the relational-circuit evaluator, the word-level circuit
+// evaluator, the RAM evaluator) calls Hit at each site; when a rule
+// matches — either the Nth hit of a countdown rule or a draw of a
+// seeded splitmix64 stream crossing the configured rate — Hit returns
+// an injected error or panics with an injected payload. With no
+// injector in the context the instrumentation is a nil-receiver call
+// that returns immediately.
+//
+// Everything is deterministic: countdown rules fire at exact hit
+// ordinals and seeded rules replay the same failure pattern for the
+// same seed, so tests reproduce bit for bit.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjected is the base error of every injected failure.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Site names one instrumented point of the pipeline.
+type Site string
+
+// Instrumented sites.
+const (
+	// SiteRelGate fires once per relational-circuit gate evaluation.
+	SiteRelGate Site = "relcircuit/gate"
+	// SiteWordGate fires once per word-level oblivious gate evaluation.
+	SiteWordGate Site = "boolcircuit/gate"
+	// SiteRAMJoin fires once per RAM-evaluator join step.
+	SiteRAMJoin Site = "query/ram-join"
+)
+
+type rule struct {
+	// countdown: fire on the nth matching hit (1-based); 0 = disabled.
+	nth int64
+	// seeded: fire when the splitmix64 draw is below rate.
+	rate  float64
+	state uint64
+	// effect
+	err      error
+	panicked any // non-nil: panic with this payload instead
+	hits     int64
+	trips    int64
+}
+
+// Injector holds the armed rules. The zero value and nil are inert.
+type Injector struct {
+	mu    sync.Mutex
+	rules map[Site]*rule
+}
+
+// New returns an empty (inert) injector.
+func New() *Injector { return &Injector{rules: make(map[Site]*rule)} }
+
+func (in *Injector) rule(site Site) *rule {
+	if in.rules == nil {
+		in.rules = make(map[Site]*rule)
+	}
+	r, ok := in.rules[site]
+	if !ok {
+		r = &rule{}
+		in.rules[site] = r
+	}
+	return r
+}
+
+// FailAt arms site to fail on its nth hit (1-based) with the given
+// error (nil selects a default wrapping ErrInjected).
+func (in *Injector) FailAt(site Site, nth int64, err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.rule(site)
+	r.nth = nth
+	if err == nil {
+		err = fmt.Errorf("%w at %s (hit %d)", ErrInjected, site, nth)
+	}
+	r.err = err
+}
+
+// PanicAt arms site to panic on its nth hit (1-based) with the given
+// payload, exercising panic containment rather than error returns.
+func (in *Injector) PanicAt(site Site, nth int64, payload any) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.rule(site)
+	r.nth = nth
+	if payload == nil {
+		payload = fmt.Sprintf("faultinject: injected panic at %s (hit %d)", site, nth)
+	}
+	r.panicked = payload
+}
+
+// FailRate arms site to fail on each hit with the given probability,
+// drawn from a deterministic splitmix64 stream seeded by seed.
+func (in *Injector) FailRate(site Site, seed uint64, rate float64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.rule(site)
+	r.rate = rate
+	r.state = seed
+	r.err = fmt.Errorf("%w at %s (seeded)", ErrInjected, site)
+}
+
+// splitmix64 advances the PRNG state and returns the next draw.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hit reports the injected failure for one execution of site, if any.
+// Safe on a nil receiver (always nil). Countdown rules fire exactly
+// once; seeded rules fire on every matching draw.
+func (in *Injector) Hit(site Site) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	r, ok := in.rules[site]
+	if !ok {
+		in.mu.Unlock()
+		return nil
+	}
+	r.hits++
+	fire := false
+	if r.nth > 0 && r.hits == r.nth {
+		fire = true
+	}
+	if !fire && r.rate > 0 {
+		draw := float64(splitmix64(&r.state)>>11) / float64(1<<53)
+		fire = draw < r.rate
+	}
+	if !fire {
+		in.mu.Unlock()
+		return nil
+	}
+	r.trips++
+	err, payload := r.err, r.panicked
+	in.mu.Unlock()
+	if payload != nil {
+		panic(payload)
+	}
+	return err
+}
+
+// Hits returns how many times site was reached.
+func (in *Injector) Hits(site Site) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r, ok := in.rules[site]; ok {
+		return r.hits
+	}
+	return 0
+}
+
+// Trips returns how many times site actually fired a failure.
+func (in *Injector) Trips(site Site) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r, ok := in.rules[site]; ok {
+		return r.trips
+	}
+	return 0
+}
+
+type injectorKey struct{}
+
+// WithInjector attaches an injector to the context; instrumented
+// evaluators retrieve it with FromContext.
+func WithInjector(ctx context.Context, in *Injector) context.Context {
+	return context.WithValue(ctx, injectorKey{}, in)
+}
+
+// FromContext returns the context's injector, or nil (inert).
+func FromContext(ctx context.Context) *Injector {
+	if ctx == nil {
+		return nil
+	}
+	in, _ := ctx.Value(injectorKey{}).(*Injector)
+	return in
+}

@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	for i := 0; i < 10; i++ {
+		if err := in.Hit(SiteRelGate); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if in.Hits(SiteRelGate) != 0 || in.Trips(SiteRelGate) != 0 {
+		t.Fatal("nil injector counted")
+	}
+}
+
+func TestCountdownFiresExactlyOnce(t *testing.T) {
+	in := New()
+	in.FailAt(SiteWordGate, 3, nil)
+	var errs []error
+	for i := 0; i < 6; i++ {
+		errs = append(errs, in.Hit(SiteWordGate))
+	}
+	for i, err := range errs {
+		if i == 2 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit 3 = %v, want ErrInjected", err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d = %v, want nil", i+1, err)
+		}
+	}
+	if in.Hits(SiteWordGate) != 6 || in.Trips(SiteWordGate) != 1 {
+		t.Fatalf("hits=%d trips=%d", in.Hits(SiteWordGate), in.Trips(SiteWordGate))
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("custom")
+	in := New()
+	in.FailAt(SiteRAMJoin, 1, sentinel)
+	if err := in.Hit(SiteRAMJoin); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want custom sentinel", err)
+	}
+}
+
+func TestPanicAt(t *testing.T) {
+	in := New()
+	in.PanicAt(SiteRelGate, 2, "kaboom")
+	if err := in.Hit(SiteRelGate); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	in.Hit(SiteRelGate)
+	t.Fatal("second hit did not panic")
+}
+
+func TestSeededRateDeterministic(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		in := New()
+		in.FailRate(SiteWordGate, seed, 0.25)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Hit(SiteWordGate) != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	trips := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a[i] {
+			trips++
+		}
+	}
+	if trips == 0 || trips == len(a) {
+		t.Fatalf("rate 0.25 produced %d/64 trips", trips)
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical pattern")
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	in := New()
+	ctx := WithInjector(context.Background(), in)
+	if got := FromContext(ctx); got != in {
+		t.Fatalf("FromContext = %p, want %p", got, in)
+	}
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context returned injector")
+	}
+}

@@ -8,11 +8,13 @@
 package ghd
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
 
 	"circuitql/internal/bound"
+	"circuitql/internal/guard"
 	"circuitql/internal/lp"
 	"circuitql/internal/query"
 )
@@ -383,6 +385,11 @@ func (d *Decomp) canonical() string {
 // FracCoverWidth returns the fractional edge cover number of the bag
 // using the query's hyperedges.
 func FracCoverWidth(q *query.Query, bag query.VarSet) (*big.Rat, error) {
+	return FracCoverWidthCtx(context.Background(), q, bag)
+}
+
+// FracCoverWidthCtx is FracCoverWidth under a context.
+func FracCoverWidthCtx(ctx context.Context, q *query.Query, bag query.VarSet) (*big.Rat, error) {
 	edges := q.Edges()
 	p := lp.NewProblem(len(edges), lp.Minimize)
 	for i := range edges {
@@ -400,7 +407,7 @@ func FracCoverWidth(q *query.Query, bag query.VarSet) (*big.Rat, error) {
 		}
 		p.AddGE(coeffs, lp.Rat(1, 1))
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -413,6 +420,11 @@ func FracCoverWidth(q *query.Query, bag query.VarSet) (*big.Rat, error) {
 // Fhtw returns the fractional hypertree width of q (free-connex for
 // non-full queries) and a witnessing decomposition.
 func Fhtw(q *query.Query) (*big.Rat, *Decomp, error) {
+	return FhtwCtx(context.Background(), q)
+}
+
+// FhtwCtx is Fhtw under a context: the per-bag edge-cover LPs poll ctx.
+func FhtwCtx(ctx context.Context, q *query.Query) (*big.Rat, *Decomp, error) {
 	decomps := Enumerate(q, 0)
 	if len(decomps) == 0 {
 		return nil, nil, fmt.Errorf("ghd: no decompositions for %s", q)
@@ -423,7 +435,7 @@ func Fhtw(q *query.Query) (*big.Rat, *Decomp, error) {
 		d := &decomps[i]
 		w := new(big.Rat)
 		for _, bag := range d.Bags {
-			bw, err := FracCoverWidth(q, bag)
+			bw, err := FracCoverWidthCtx(ctx, q, bag)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -444,6 +456,12 @@ func Fhtw(q *query.Query) (*big.Rat, *Decomp, error) {
 // decomposition. For non-full non-Boolean queries decompositions are
 // restricted to free-connex ones.
 func DAFhtw(q *query.Query, dcs query.DCSet) (*big.Rat, *Decomp, error) {
+	return DAFhtwCtx(context.Background(), q, dcs)
+}
+
+// DAFhtwCtx is DAFhtw under a context: each bag's polymatroid-bound LP
+// polls ctx and charges the attached budget.
+func DAFhtwCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (*big.Rat, *Decomp, error) {
 	decomps := Enumerate(q, 0)
 	if len(decomps) == 0 {
 		return nil, nil, fmt.Errorf("ghd: no decompositions for %s", q)
@@ -452,7 +470,7 @@ func DAFhtw(q *query.Query, dcs query.DCSet) (*big.Rat, *Decomp, error) {
 	var bestD *Decomp
 	for i := range decomps {
 		d := &decomps[i]
-		w, err := decompDABits(q, dcs, d)
+		w, err := decompDABits(ctx, q, dcs, d)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -464,10 +482,10 @@ func DAFhtw(q *query.Query, dcs query.DCSet) (*big.Rat, *Decomp, error) {
 }
 
 // decompDABits returns max over bags of the polymatroid bound, in bits.
-func decompDABits(q *query.Query, dcs query.DCSet, d *Decomp) (*big.Rat, error) {
+func decompDABits(ctx context.Context, q *query.Query, dcs query.DCSet, d *Decomp) (*big.Rat, error) {
 	w := new(big.Rat)
 	for _, bag := range d.Bags {
-		res, err := bound.LogBound(q, dcs, bag)
+		res, err := bound.LogBoundCtx(ctx, q, dcs, bag)
 		if err != nil {
 			return nil, err
 		}
@@ -491,6 +509,12 @@ func decompDABits(q *query.Query, dcs query.DCSet, d *Decomp) (*big.Rat, error) 
 // da-subw results if the cap truncates; the catalog queries fit well
 // inside it).
 func DASubw(q *query.Query, dcs query.DCSet, maxDecomps int) (*big.Rat, error) {
+	return DASubwCtx(context.Background(), q, dcs, maxDecomps)
+}
+
+// DASubwCtx is DASubw under a context: the branch-and-bound over bag
+// selectors polls ctx at every node and the selector LPs poll it too.
+func DASubwCtx(ctx context.Context, q *query.Query, dcs query.DCSet, maxDecomps int) (*big.Rat, error) {
 	if maxDecomps <= 0 {
 		maxDecomps = 24
 	}
@@ -522,7 +546,7 @@ func DASubw(q *query.Query, dcs query.DCSet, maxDecomps int) (*big.Rat, error) {
 		if v, ok := memo[key]; ok {
 			return v, nil
 		}
-		v, err := selectorValue(q, dcs, bags)
+		v, err := selectorValue(ctx, q, dcs, bags)
 		if err != nil {
 			return nil, err
 		}
@@ -534,6 +558,9 @@ func DASubw(q *query.Query, dcs query.DCSet, maxDecomps int) (*big.Rat, error) {
 	var selected []query.VarSet
 	var rec func(i int) error
 	rec = func(i int) error {
+		if err := guard.Poll(ctx); err != nil {
+			return err
+		}
 		if len(selected) > 0 {
 			v, err := value(selected)
 			if err != nil {
@@ -587,7 +614,7 @@ func maximalBags(bags []query.VarSet) []query.VarSet {
 // selectorValue solves max z s.t. h ∈ Γ ∩ HDC and h(bag) ≥ z for every
 // selected bag. The optimum lower-bounds min_i max_t h(bag); maximizing
 // over selectors gives da-subw exactly.
-func selectorValue(q *query.Query, dcs query.DCSet, bags []query.VarSet) (*big.Rat, error) {
+func selectorValue(ctx context.Context, q *query.Query, dcs query.DCSet, bags []query.VarSet) (*big.Rat, error) {
 	// Reuse the bound LP machinery by maximizing the minimum of several
 	// targets: add variable z with z ≤ h(bag_i).
 	n := q.NVars()
@@ -640,7 +667,7 @@ func selectorValue(q *query.Query, dcs query.DCSet, bags []query.VarSet) (*big.R
 	for _, bag := range bags {
 		p.AddGE(map[int]*big.Rat{varOf(bag): lp.Rat(1, 1), z: lp.Rat(-1, 1)}, lp.Rat(0, 1))
 	}
-	sol, err := p.Solve()
+	sol, err := p.SolveCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

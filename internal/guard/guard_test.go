@@ -1,0 +1,146 @@
+package guard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestPollLiveContext(t *testing.T) {
+	if err := Poll(context.Background()); err != nil {
+		t.Fatalf("Poll(live) = %v", err)
+	}
+	if err := Poll(nil); err != nil {
+		t.Fatalf("Poll(nil) = %v", err)
+	}
+}
+
+func TestPollCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Poll(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("Poll(canceled) = %v, want ErrCanceled", err)
+	}
+	if errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("canceled must not match ErrBudgetExceeded")
+	}
+}
+
+func TestPollDeadlineIsBudget(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := Poll(ctx)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Poll(expired deadline) = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestPivotBudget(t *testing.T) {
+	b := &Budget{MaxLPPivots: 3}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := b.Pivot(ctx); err != nil {
+			t.Fatalf("pivot %d: %v", i, err)
+		}
+	}
+	if err := b.Pivot(ctx); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("4th pivot = %v, want ErrBudgetExceeded", err)
+	}
+	if got := b.Pivots(); got != 4 {
+		t.Fatalf("Pivots() = %d, want 4", got)
+	}
+}
+
+func TestNilBudgetUnlimited(t *testing.T) {
+	var b *Budget
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if err := b.Pivot(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.CheckGates(ctx, 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckRows(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pivots() != 0 {
+		t.Fatal("nil budget counted pivots")
+	}
+}
+
+func TestGateAndRowBudgets(t *testing.T) {
+	b := &Budget{MaxGates: 10, MaxRows: 5}
+	ctx := context.Background()
+	if err := b.CheckGates(ctx, 10); err != nil {
+		t.Fatalf("at cap: %v", err)
+	}
+	if err := b.CheckGates(ctx, 11); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over cap = %v", err)
+	}
+	if err := b.CheckRows(5); err != nil {
+		t.Fatalf("rows at cap: %v", err)
+	}
+	if err := b.CheckRows(6); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("rows over cap = %v", err)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	b := &Budget{MaxGates: 1}
+	ctx := WithBudget(context.Background(), b)
+	if got := FromContext(ctx); got != b {
+		t.Fatalf("FromContext = %p, want %p", got, b)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(empty) = %p, want nil", got)
+	}
+}
+
+func TestRecoverPlainPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover(&err)
+		panic("boom")
+	}
+	err := f()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err not an *InternalError: %v", err)
+	}
+	if ie.Payload != "boom" {
+		t.Fatalf("payload = %v, want boom", ie.Payload)
+	}
+	if len(ie.Stack) == 0 {
+		t.Fatal("stack not captured")
+	}
+}
+
+func TestRecoverInvalidInputPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover(&err)
+		panic(Invalidf("bad schema %q", "X"))
+	}
+	err := f()
+	if !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("err = %v, want ErrInvalidInput", err)
+	}
+	if errors.Is(err, ErrInternal) {
+		t.Fatal("typed invalid-input panic misclassified as internal")
+	}
+}
+
+func TestRecoverNoPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover(&err)
+		return nil
+	}
+	if err := f(); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}

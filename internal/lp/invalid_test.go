@@ -1,0 +1,39 @@
+package lp
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"circuitql/internal/guard"
+)
+
+// The misuse panics must carry guard.ErrInvalidInput so guard.Recover
+// at the API boundary classifies them as caller errors, not internal
+// bugs.
+func TestMisusePanicsAreTypedInvalidInput(t *testing.T) {
+	cases := map[string]func(){
+		"no variables":       func() { NewProblem(0, Maximize) },
+		"negative variables": func() { NewProblem(-3, Minimize) },
+		"coeff out of range": func() { NewProblem(2, Maximize).AddLE(Coeffs(5, 1), big.NewRat(1, 1)) },
+		"odd coeff pairs":    func() { Coeffs(0, 1, 2) },
+	}
+	for name, f := range cases {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("no panic")
+				}
+				err, ok := r.(error)
+				if !ok {
+					t.Fatalf("panic payload %v is not an error", r)
+				}
+				if !errors.Is(err, guard.ErrInvalidInput) {
+					t.Fatalf("panic %v does not carry ErrInvalidInput", err)
+				}
+			}()
+			f()
+		})
+	}
+}

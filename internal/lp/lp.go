@@ -12,8 +12,11 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math/big"
+
+	"circuitql/internal/guard"
 )
 
 // Sense selects the optimization direction.
@@ -74,7 +77,7 @@ type Problem struct {
 // zero objective.
 func NewProblem(nvars int, sense Sense) *Problem {
 	if nvars <= 0 {
-		panic("lp: need at least one variable")
+		panic(guard.Invalidf("lp: need at least one variable"))
 	}
 	obj := make([]*big.Rat, nvars)
 	for i := range obj {
@@ -111,7 +114,7 @@ func cloneCoeffs(coeffs map[int]*big.Rat) map[int]*big.Rat {
 func (p *Problem) addRow(kind rowKind, coeffs map[int]*big.Rat, rhs *big.Rat) int {
 	for i := range coeffs {
 		if i < 0 || i >= p.nvars {
-			panic(fmt.Sprintf("lp: coefficient for variable %d out of range", i))
+			panic(guard.Invalidf("lp: coefficient for variable %d out of range", i))
 		}
 	}
 	p.rows = append(p.rows, row{kind: kind, coeffs: cloneCoeffs(coeffs), rhs: new(big.Rat).Set(rhs)})
@@ -137,7 +140,7 @@ func (p *Problem) AddEQ(coeffs map[int]*big.Rat, rhs *big.Rat) int {
 // (index, numerator) pairs with unit denominators.
 func Coeffs(pairs ...int64) map[int]*big.Rat {
 	if len(pairs)%2 != 0 {
-		panic("lp: Coeffs needs (index, value) pairs")
+		panic(guard.Invalidf("lp: Coeffs needs (index, value) pairs"))
 	}
 	m := make(map[int]*big.Rat, len(pairs)/2)
 	for i := 0; i < len(pairs); i += 2 {
@@ -166,11 +169,31 @@ type Solution struct {
 // Σ_i Dual_i · rhs_i = Objective at optimality (strong duality), which
 // the tests verify.
 func (p *Problem) Solve() (*Solution, error) {
-	t := newTableau(p)
-	if !t.phase1() {
+	return p.SolveCtx(context.Background())
+}
+
+// SolveCtx is Solve under a context: the simplex loop polls ctx at
+// sub-pivot granularity (so cancellation and deadlines interrupt even a
+// single large exact-rational pivot promptly) and charges every pivot
+// against the guard.Budget attached to ctx, if any. Interruptions
+// surface as guard.ErrCanceled or guard.ErrBudgetExceeded.
+func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
+	t, err := newTableau(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	feasible, err := t.phase1()
+	if err != nil {
+		return nil, err
+	}
+	if !feasible {
 		return &Solution{Status: Infeasible}, nil
 	}
-	switch t.phase2() {
+	st, err := t.phase2()
+	if err != nil {
+		return nil, err
+	}
+	switch st {
 	case Unbounded:
 		return &Solution{Status: Unbounded}, nil
 	case Optimal:
@@ -195,15 +218,23 @@ type tableau struct {
 	isSlack  []int // column -> row index if slack, else -1
 	banned   []bool
 	artStart int
+
+	ctx    context.Context
+	budget *guard.Budget
 }
 
-func newTableau(p *Problem) *tableau {
+func newTableau(ctx context.Context, p *Problem) (*tableau, error) {
 	m, n := len(p.rows), p.nvars
-	t := &tableau{p: p, m: m, n: n}
+	t := &tableau{p: p, m: m, n: n, ctx: ctx, budget: guard.FromContext(ctx)}
 	t.cols = n + m
 	t.a = make([][]*big.Rat, m+1) // +1 objective row
 	t.flipped = make([]bool, m)
 	for i := 0; i <= m; i++ {
+		if i&15 == 0 {
+			if err := guard.Poll(ctx); err != nil {
+				return nil, err
+			}
+		}
 		t.a[i] = make([]*big.Rat, t.cols+1)
 		for j := range t.a[i] {
 			t.a[i][j] = new(big.Rat)
@@ -240,7 +271,7 @@ func newTableau(p *Problem) *tableau {
 			}
 		}
 	}
-	return t
+	return t, nil
 }
 
 // needsArtificial reports whether row i lacks a ready basic column (a
@@ -265,7 +296,7 @@ func (t *tableau) addColumn() int {
 }
 
 // phase1 finds a basic feasible solution; it reports feasibility.
-func (t *tableau) phase1() bool {
+func (t *tableau) phase1() (bool, error) {
 	t.artStart = t.cols
 	var artRows []int
 	for i := 0; i < t.m; i++ {
@@ -280,7 +311,7 @@ func (t *tableau) phase1() bool {
 		t.nart++
 	}
 	if t.nart == 0 {
-		return true
+		return true, nil
 	}
 	// Phase-1 objective: maximize -Σ artificials. Objective row holds
 	// reduced costs; start with +1 in artificial columns then zero the
@@ -297,12 +328,16 @@ func (t *tableau) phase1() bool {
 			obj[j].Sub(obj[j], t.a[i][j])
 		}
 	}
-	if st := t.iterate(); st != Optimal {
+	st, err := t.iterate()
+	if err != nil {
+		return false, err
+	}
+	if st != Optimal {
 		// Phase 1 cannot be unbounded (objective bounded by 0).
-		return false
+		return false, nil
 	}
 	if t.a[t.m][t.cols].Sign() != 0 {
-		return false // residual artificial value -> infeasible
+		return false, nil // residual artificial value -> infeasible
 	}
 	// Drive basic artificials out (degenerate rows).
 	for i := 0; i < t.m; i++ {
@@ -312,7 +347,9 @@ func (t *tableau) phase1() bool {
 		pivoted := false
 		for j := 0; j < t.artStart; j++ {
 			if !t.banned[j] && t.a[i][j].Sign() != 0 {
-				t.pivot(i, j)
+				if err := t.pivot(i, j); err != nil {
+					return false, err
+				}
 				pivoted = true
 				break
 			}
@@ -326,11 +363,11 @@ func (t *tableau) phase1() bool {
 	for j := t.artStart; j < t.cols; j++ {
 		t.banned[j] = true
 	}
-	return true
+	return true, nil
 }
 
 // phase2 optimizes the real objective from the current feasible basis.
-func (t *tableau) phase2() Status {
+func (t *tableau) phase2() (Status, error) {
 	obj := t.a[t.m]
 	for j := 0; j <= t.cols; j++ {
 		obj[j].SetInt64(0)
@@ -358,11 +395,14 @@ func (t *tableau) phase2() Status {
 	return t.iterate()
 }
 
-// iterate runs simplex pivots with Bland's rule until optimal or
-// unbounded.
-func (t *tableau) iterate() Status {
+// iterate runs simplex pivots with Bland's rule until optimal,
+// unbounded, or interrupted by the context or pivot budget.
+func (t *tableau) iterate() (Status, error) {
 	obj := t.a[t.m]
 	for {
+		if err := t.budget.Pivot(t.ctx); err != nil {
+			return Optimal, err
+		}
 		// Entering column: smallest index with negative reduced cost.
 		enter := -1
 		for j := 0; j < t.cols; j++ {
@@ -372,7 +412,7 @@ func (t *tableau) iterate() Status {
 			}
 		}
 		if enter < 0 {
-			return Optimal
+			return Optimal, nil
 		}
 		// Ratio test with Bland tie-breaking on basis variable index.
 		leave := -1
@@ -388,20 +428,29 @@ func (t *tableau) iterate() Status {
 			}
 		}
 		if leave < 0 {
-			return Unbounded
+			return Unbounded, nil
 		}
-		t.pivot(leave, enter)
+		if err := t.pivot(leave, enter); err != nil {
+			return Optimal, err
+		}
 	}
 }
 
-// pivot makes column enter basic in row leave.
-func (t *tableau) pivot(leave, enter int) {
+// pivot makes column enter basic in row leave. A single exact-rational
+// pivot touches m·cols entries, so it polls the context every few rows
+// to keep the cancellation latency well under the row-elimination cost.
+func (t *tableau) pivot(leave, enter int) error {
 	prow := t.a[leave]
 	inv := new(big.Rat).Inv(prow[enter])
 	for j := 0; j <= t.cols; j++ {
 		prow[j].Mul(prow[j], inv)
 	}
 	for i := 0; i <= t.m; i++ {
+		if i&15 == 0 {
+			if err := guard.Poll(t.ctx); err != nil {
+				return err
+			}
+		}
 		if i == leave || t.a[i][enter].Sign() == 0 {
 			continue
 		}
@@ -412,6 +461,7 @@ func (t *tableau) pivot(leave, enter int) {
 		}
 	}
 	t.basis[leave] = enter
+	return nil
 }
 
 // extract builds the Solution from an optimal tableau.

@@ -18,6 +18,7 @@ import (
 
 	"circuitql/internal/boolcircuit"
 	"circuitql/internal/expr"
+	"circuitql/internal/guard"
 	"circuitql/internal/relation"
 	"circuitql/internal/scan"
 	"circuitql/internal/sortnet"
@@ -47,7 +48,7 @@ func (r ORel) ColIdx(a string) int {
 			return i
 		}
 	}
-	panic(fmt.Sprintf("opcircuits: attribute %q not in schema %v", a, r.Schema))
+	panic(guard.Invalidf("opcircuits: attribute %q not in schema %v", a, r.Schema))
 }
 
 func (r ORel) colIdxs(attrs []string) []int {
@@ -396,7 +397,7 @@ func extras(r, s ORel) []string {
 func PKJoin(c *boolcircuit.Circuit, r, s ORel) ORel {
 	f := common(r, s)
 	if len(f) == 0 {
-		panic("opcircuits: PKJoin requires common attributes")
+		panic(guard.Invalidf("opcircuits: PKJoin requires common attributes"))
 	}
 	ex := extras(r, s)
 	return pkCopy(c, r, s, f, ex)
@@ -407,7 +408,7 @@ func PKJoin(c *boolcircuit.Circuit, r, s ORel) ORel {
 func Semijoin(c *boolcircuit.Circuit, r, s ORel) ORel {
 	f := common(r, s)
 	if len(f) == 0 {
-		panic("opcircuits: Semijoin requires common attributes")
+		panic(guard.Invalidf("opcircuits: Semijoin requires common attributes"))
 	}
 	key := Project(c, s, f) // distinct -> the common attrs are its key
 	joined := pkCopy(c, r, key, f, nil)

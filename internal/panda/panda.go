@@ -28,12 +28,14 @@
 package panda
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
 	"sort"
 
 	"circuitql/internal/bound"
+	rguard "circuitql/internal/guard"
 	"circuitql/internal/proofseq"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
@@ -76,6 +78,8 @@ const maxRestartDepth = 8
 
 type compiler struct {
 	q        *query.Query
+	ctx      context.Context
+	budget   *rguard.Budget
 	target   query.VarSet
 	c        *relcircuit.Circuit
 	dapb     float64 // 2^LOGDAPB, the global budget of Algorithm 1 line 23
@@ -101,8 +105,15 @@ type restartEntry struct {
 // tuples compatible with every atom — i.e. the bag relation the
 // Yannakakis phases consume. For a full CQ this is exactly Q(D).
 func Compile(q *query.Query, dcs query.DCSet, target query.VarSet) (*CompileResult, error) {
+	return CompileCtx(context.Background(), q, dcs, target)
+}
+
+// CompileCtx is Compile under a context: the proof-sequence search, the
+// exact LPs, and the circuit-construction loops all poll ctx, and gate
+// emission is charged against any rguard.Budget attached to ctx.
+func CompileCtx(ctx context.Context, q *query.Query, dcs query.DCSet, target query.VarSet) (*CompileResult, error) {
 	c := relcircuit.New()
-	res, err := CompileInto(c, nil, q, dcs, target)
+	res, err := CompileIntoCtx(ctx, c, nil, q, dcs, target)
 	if err != nil {
 		return nil, err
 	}
@@ -128,17 +139,22 @@ func Compile(q *query.Query, dcs query.DCSet, target query.VarSet) (*CompileResu
 // Yannakakis circuits compute one bag per GHD node over shared inputs)
 // wire it onward themselves.
 func CompileInto(c *relcircuit.Circuit, inputs map[int]int, q *query.Query, dcs query.DCSet, target query.VarSet) (*CompileResult, error) {
+	return CompileIntoCtx(context.Background(), c, inputs, q, dcs, target)
+}
+
+// CompileIntoCtx is CompileInto under a context (see CompileCtx).
+func CompileIntoCtx(ctx context.Context, c *relcircuit.Circuit, inputs map[int]int, q *query.Query, dcs query.DCSet, target query.VarSet) (*CompileResult, error) {
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, rguard.Invalidf("%v", err)
 	}
 	if err := dcs.Validate(q); err != nil {
-		return nil, err
+		return nil, rguard.Invalidf("%v", err)
 	}
-	res, err := bound.LogBound(q, dcs, target)
+	res, err := bound.LogBoundCtx(ctx, q, dcs, target)
 	if err != nil {
 		return nil, err
 	}
-	seq, delta, err := proofseq.Build(q, res)
+	seq, delta, err := proofseq.BuildCtx(ctx, q, res)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +164,8 @@ func CompileInto(c *relcircuit.Circuit, inputs map[int]int, q *query.Query, dcs 
 	}
 	co := &compiler{
 		q:        q,
+		ctx:      ctx,
+		budget:   rguard.FromContext(ctx),
 		target:   target,
 		c:        c,
 		dapb:     res.Value(),
@@ -188,6 +206,11 @@ func CompileInto(c *relcircuit.Circuit, inputs map[int]int, q *query.Query, dcs 
 // CompileFCQ compiles the full query (target = all variables).
 func CompileFCQ(q *query.Query, dcs query.DCSet) (*CompileResult, error) {
 	return Compile(q, dcs, q.AllVars())
+}
+
+// CompileFCQCtx is CompileFCQ under a context (see CompileCtx).
+func CompileFCQCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (*CompileResult, error) {
+	return CompileCtx(ctx, q, dcs, q.AllVars())
 }
 
 // InputName returns the database key for atom i used by PANDA circuits
@@ -377,6 +400,9 @@ func consume(terms []term, x, y query.VarSet, total *big.Rat) ([]term, []portion
 // and returns the gate holding the union of all target guards.
 func (co *compiler) compile(terms []term, steps proofseq.Sequence, registry []guard, depth int) (int, error) {
 	for si, st := range steps {
+		if err := co.budget.CheckGates(co.ctx, len(co.c.Gates)); err != nil {
+			return 0, err
+		}
 		rest := steps[si+1:]
 		switch st.Kind {
 		case proofseq.Submod:
@@ -471,6 +497,9 @@ func (co *compiler) compile(terms []term, steps proofseq.Sequence, registry []gu
 			// Fork: each branch continues with the remaining steps.
 			var outs []int
 			for _, br := range branches {
+				if err := co.budget.CheckGates(co.ctx, len(co.c.Gates)); err != nil {
+					return 0, err
+				}
 				bt := cloneTerms(terms)
 				bt = append(bt,
 					term{x: 0, y: st.X, wt: new(big.Rat).Set(p.amount), g: br.proj},
@@ -598,11 +627,11 @@ func (co *compiler) restart(terms []term, registry []guard, depth int) (int, err
 
 	entry, ok := co.restartCache[cacheKey]
 	if !ok {
-		res, err := bound.LogBoundRaw(co.q, dcs, co.target)
+		res, err := bound.LogBoundRawCtx(co.ctx, co.q, dcs, co.target)
 		if err != nil {
 			return 0, fmt.Errorf("panda: truncation re-derivation: %w", err)
 		}
-		seq, delta, err := proofseq.Build(co.q, res)
+		seq, delta, err := proofseq.BuildCtx(co.ctx, co.q, res)
 		if err != nil {
 			return 0, fmt.Errorf("panda: truncation proof sequence: %w", err)
 		}

@@ -1,12 +1,14 @@
 package proofseq
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"sort"
 	"strings"
 
 	"circuitql/internal/bound"
+	"circuitql/internal/guard"
 	"circuitql/internal/query"
 )
 
@@ -23,6 +25,13 @@ import (
 // generated on demand). The returned sequence always passes Verify; if
 // the search exhausts its budget an error is returned.
 func Build(q *query.Query, res *bound.Result) (Sequence, Vec, error) {
+	return BuildCtx(context.Background(), q, res)
+}
+
+// BuildCtx is Build under a context: the bounded search polls ctx at
+// every expanded state, so cancellation and deadlines interrupt even
+// adversarial witnesses whose search space blows up.
+func BuildCtx(ctx context.Context, q *query.Query, res *bound.Result) (Sequence, Vec, error) {
 	delta := InitialDelta(res)
 	lambda := Lambda(res.Target)
 
@@ -42,6 +51,7 @@ func Build(q *query.Query, res *bound.Result) (Sequence, Vec, error) {
 	for _, cfg := range configs {
 		b := &builder{
 			q:          q,
+			ctx:        ctx,
 			target:     res.Target,
 			visited:    make(map[string]bool),
 			limit:      cfg.limit,
@@ -55,7 +65,11 @@ func Build(q *query.Query, res *bound.Result) (Sequence, Vec, error) {
 		for _, m := range res.Witness.Mono {
 			b.mono = append(b.mono, monoCredit{v: m.V, left: new(big.Rat).Set(m.Weight)})
 		}
-		if b.search(delta.Clone()) {
+		found, err := b.search(delta.Clone())
+		if err != nil {
+			return nil, nil, err
+		}
+		if found {
 			if err := Verify(delta, lambda, b.seq); err != nil {
 				return nil, nil, fmt.Errorf("proofseq: internal: built sequence fails verification: %w", err)
 			}
@@ -80,6 +94,7 @@ type monoCredit struct {
 
 type builder struct {
 	q          *query.Query
+	ctx        context.Context
 	target     query.VarSet
 	submod     []credit
 	mono       []monoCredit
@@ -171,18 +186,22 @@ type move struct {
 }
 
 // search runs depth-first over applicable moves; it appends the found
-// steps to b.seq and reports success.
-func (b *builder) search(pool Vec) bool {
+// steps to b.seq and reports success. Every expanded state polls the
+// builder's context.
+func (b *builder) search(pool Vec) (bool, error) {
+	if err := guard.Poll(b.ctx); err != nil {
+		return false, err
+	}
 	if b.coverage(pool).Cmp(big.NewRat(1, 1)) >= 0 {
 		b.finish(pool)
-		return true
+		return true, nil
 	}
 	if len(b.visited) >= b.limit {
-		return false
+		return false, nil
 	}
 	key := b.stateKey(pool)
 	if b.visited[key] {
-		return false
+		return false, nil
 	}
 	b.visited[key] = true
 
@@ -200,8 +219,12 @@ func (b *builder) search(pool Vec) bool {
 		}
 		mark := len(b.seq)
 		b.seq = append(b.seq, mv.step)
-		if b.search(next) {
-			return true
+		found, err := b.search(next)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return true, nil
 		}
 		b.seq = b.seq[:mark]
 		if mv.creditIdx >= 0 {
@@ -212,7 +235,7 @@ func (b *builder) search(pool Vec) bool {
 			}
 		}
 	}
-	return false
+	return false, nil
 }
 
 // moves enumerates candidate steps at the current pool, in priority

@@ -93,3 +93,35 @@ func parseVarSet(q *Query, src string) (VarSet, error) {
 	}
 	return s, nil
 }
+
+// FormatDC renders a constraint set in the ParseDC grammar, one entry
+// per constraint separated by "; ". Attribute sets are always written
+// parenthesized so multi-character variable names survive the round
+// trip. Constraints whose Y matches no atom render against the empty
+// name and will not reparse — DCSet.Validate rejects them anyway.
+func FormatDC(q *Query, dcs DCSet) string {
+	var b strings.Builder
+	for i, dc := range dcs {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		name := ""
+		if e := q.EdgeFor(dc.Y); e >= 0 {
+			name = q.Atoms[e].Name
+		}
+		b.WriteString(name)
+		if !dc.IsCardinality() {
+			b.WriteString("|(")
+			for j, n := range dc.X.Names(q.VarNames) {
+				if j > 0 {
+					b.WriteString(",")
+				}
+				b.WriteString(n)
+			}
+			b.WriteString(")")
+		}
+		b.WriteString(" <= ")
+		b.WriteString(strconv.FormatFloat(dc.N, 'g', -1, 64))
+	}
+	return b.String()
+}

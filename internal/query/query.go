@@ -5,10 +5,13 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"circuitql/internal/faultinject"
+	"circuitql/internal/guard"
 	"circuitql/internal/relation"
 )
 
@@ -156,6 +159,11 @@ type DCSet []DegreeConstraint
 // variable set, and N ≥ 1.
 func (dcs DCSet) Validate(q *Query) error {
 	for _, dc := range dcs {
+		if !dc.Y.SubsetOf(q.AllVars()) {
+			// Range-check before any Label call: formatting an
+			// out-of-range set would index past VarNames.
+			return fmt.Errorf("degree constraint: Y (bits %#x) uses variables outside the query's %d", uint64(dc.Y), q.NVars())
+		}
 		if !dc.X.SubsetOf(dc.Y) {
 			return fmt.Errorf("degree constraint %s: X ⊄ Y", dc.Label(q.VarNames))
 		}
@@ -252,9 +260,18 @@ func dedupNames(q *Query, a Atom) []string {
 // queries the result is a zero-arity relation containing the empty tuple
 // iff the query is true.
 func Evaluate(q *Query, db Database) (*relation.Relation, error) {
+	return EvaluateCtx(context.Background(), q, db)
+}
+
+// EvaluateCtx is Evaluate under a context: each join step polls ctx,
+// charges the intermediate relation against any guard.Budget row cap,
+// and reports to any faultinject.Injector's RAM-join site.
+func EvaluateCtx(ctx context.Context, q *Query, db Database) (*relation.Relation, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	budget := guard.FromContext(ctx)
+	inj := faultinject.FromContext(ctx)
 	rels := make([]*relation.Relation, len(q.Atoms))
 	for i, a := range q.Atoms {
 		r, err := AtomRelation(q, db, a)
@@ -266,9 +283,67 @@ func Evaluate(q *Query, db Database) (*relation.Relation, error) {
 	sort.SliceStable(rels, func(i, j int) bool { return rels[i].Len() < rels[j].Len() })
 	acc := rels[0]
 	for _, r := range rels[1:] {
+		if err := guard.Poll(ctx); err != nil {
+			return nil, err
+		}
+		if err := inj.Hit(faultinject.SiteRAMJoin); err != nil {
+			return nil, fmt.Errorf("query: join step: %w", err)
+		}
 		acc = acc.NaturalJoin(r)
+		if err := budget.CheckRows(acc.Len()); err != nil {
+			return nil, fmt.Errorf("query: join step: %w", err)
+		}
 	}
 	return acc.Project(q.Free.Names(q.VarNames)...), nil
+}
+
+// ValidateDB checks a database against a query (and optionally the DC
+// set a circuit was compiled for) before evaluation: every atom's
+// relation must exist with matching arity, and when dcs is non-nil the
+// instance must conform — cardinality constraints bound |R_F| and
+// degree constraints bound the observed degrees. Violations surface as
+// guard.ErrInvalidInput with a description of the offending relation.
+func ValidateDB(q *Query, dcs DCSet, db Database) error {
+	if err := q.Validate(); err != nil {
+		return guard.Invalidf("query: %v", err)
+	}
+	atomRels := make([]*relation.Relation, len(q.Atoms))
+	for i, a := range q.Atoms {
+		r, ok := db[a.Name]
+		if !ok {
+			return guard.Invalidf("query: database has no relation %q", a.Name)
+		}
+		if r.Arity() != len(a.Vars) {
+			return guard.Invalidf("query: relation %q has arity %d, atom %s uses %d variables",
+				a.Name, r.Arity(), a.Name, len(a.Vars))
+		}
+		ar, err := AtomRelation(q, db, a)
+		if err != nil {
+			return guard.Invalidf("query: %v", err)
+		}
+		atomRels[i] = ar
+	}
+	for _, dc := range dcs {
+		for i, a := range q.Atoms {
+			if a.VarSet() != dc.Y {
+				continue
+			}
+			r := atomRels[i]
+			if dc.IsCardinality() {
+				if float64(r.Len()) > dc.N+1e-9 {
+					return guard.Invalidf("query: relation %q has %d tuples, exceeding compiled cardinality bound %g",
+						a.Name, r.Len(), dc.N)
+				}
+				continue
+			}
+			on := dc.X.Names(q.VarNames)
+			if got := float64(r.Degree(on...)); got > dc.N+1e-9 {
+				return guard.Invalidf("query: relation %q has degree %g on %v, exceeding compiled degree bound %g",
+					a.Name, got, on, dc.N)
+			}
+		}
+	}
+	return nil
 }
 
 // DeriveDC measures the database and returns the tightest degree
@@ -277,14 +352,15 @@ func Evaluate(q *Query, db Database) (*relation.Relation, error) {
 // degree bound. This is how "DC conforming" instances are produced in
 // tests.
 func DeriveDC(q *Query, db Database) (DCSet, error) {
-	var out DCSet
-	seen := map[VarSet]bool{}
+	// A constraint is identified by (X, Y) alone, so it binds every atom
+	// whose variable set is Y. When several atoms share a variable set
+	// (over different relations) the derived bound must be the max over
+	// all of them or the weakest relation would violate it.
+	type key struct{ x, y VarSet }
+	bounds := map[key]float64{}
+	var order []key
 	for _, a := range q.Atoms {
 		y := a.VarSet()
-		if seen[y] {
-			continue
-		}
-		seen[y] = true
 		r, err := AtomRelation(q, db, a)
 		if err != nil {
 			return nil, err
@@ -297,8 +373,19 @@ func DeriveDC(q *Query, db Database) (DCSet, error) {
 			if d < 1 {
 				d = 1
 			}
-			out = append(out, DegreeConstraint{X: x, Y: y, N: d})
+			k := key{x, y}
+			old, ok := bounds[k]
+			if !ok {
+				order = append(order, k)
+			}
+			if !ok || d > old {
+				bounds[k] = d
+			}
 		})
+	}
+	out := make(DCSet, 0, len(order))
+	for _, k := range order {
+		out = append(out, DegreeConstraint{X: k.x, Y: k.y, N: bounds[k]})
 	}
 	return out, nil
 }

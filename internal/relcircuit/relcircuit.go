@@ -13,10 +13,13 @@
 package relcircuit
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"circuitql/internal/expr"
+	"circuitql/internal/faultinject"
+	"circuitql/internal/guard"
 	"circuitql/internal/relation"
 )
 
@@ -429,8 +432,23 @@ func checkBound(id int, r *relation.Relation, b Bound) error {
 // the compiler's bound bookkeeping is sound. The result maps output gate
 // ids to relations.
 func (c *Circuit) Evaluate(db map[string]*relation.Relation, check bool) (map[int]*relation.Relation, error) {
+	return c.EvaluateCtx(context.Background(), db, check)
+}
+
+// EvaluateCtx is Evaluate under a context: the gate loop polls ctx,
+// charges each materialised wire against any guard.Budget row cap, and
+// reports each gate to any faultinject.Injector carried by ctx.
+func (c *Circuit) EvaluateCtx(ctx context.Context, db map[string]*relation.Relation, check bool) (map[int]*relation.Relation, error) {
+	budget := guard.FromContext(ctx)
+	inj := faultinject.FromContext(ctx)
 	vals := make([]*relation.Relation, len(c.Gates))
 	for i, g := range c.Gates {
+		if err := guard.Poll(ctx); err != nil {
+			return nil, err
+		}
+		if err := inj.Hit(faultinject.SiteRelGate); err != nil {
+			return nil, fmt.Errorf("relcircuit: gate %d: %w", i, err)
+		}
 		var out *relation.Relation
 		switch g.Kind {
 		case KindInput:
@@ -477,6 +495,9 @@ func (c *Circuit) Evaluate(db map[string]*relation.Relation, check bool) (map[in
 			})
 		default:
 			return nil, fmt.Errorf("relcircuit: unknown gate kind %v", g.Kind)
+		}
+		if err := budget.CheckRows(out.Len()); err != nil {
+			return nil, fmt.Errorf("relcircuit: gate %d: %w", i, err)
 		}
 		if check {
 			if err := checkBound(i, out, g.Out); err != nil {

@@ -13,12 +13,14 @@
 package yannakakis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
 
 	"circuitql/internal/expr"
 	"circuitql/internal/ghd"
+	"circuitql/internal/guard"
 	"circuitql/internal/panda"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
@@ -114,13 +116,19 @@ type Plan struct {
 // NewPlan picks the da-fhtw-optimal (free-connex where required)
 // decomposition.
 func NewPlan(q *query.Query, dcs query.DCSet) (*Plan, error) {
+	return NewPlanCtx(context.Background(), q, dcs)
+}
+
+// NewPlanCtx is NewPlan under a context: the width search (and its exact
+// LPs) polls ctx and respects any guard.Budget it carries.
+func NewPlanCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (*Plan, error) {
 	if err := q.Validate(); err != nil {
-		return nil, err
+		return nil, guard.Invalidf("%v", err)
 	}
 	if err := dcs.Validate(q); err != nil {
-		return nil, err
+		return nil, guard.Invalidf("%v", err)
 	}
-	w, d, err := ghd.DAFhtw(q, dcs)
+	w, d, err := ghd.DAFhtwCtx(ctx, q, dcs)
 	if err != nil {
 		return nil, err
 	}
@@ -163,12 +171,20 @@ func (p *Plan) bagRelationRAM(db map[string]*relation.Relation, bag query.VarSet
 // EvaluateRAM runs the GHD + 3-phase Yannakakis reference algorithm and
 // returns Q(D).
 func (p *Plan) EvaluateRAM(db query.Database) (*relation.Relation, error) {
+	return p.EvaluateRAMCtx(context.Background(), db)
+}
+
+// EvaluateRAMCtx is EvaluateRAM under a context, polling once per bag.
+func (p *Plan) EvaluateRAMCtx(ctx context.Context, db query.Database) (*relation.Relation, error) {
 	pdb, err := panda.PrepareDB(p.Query, db)
 	if err != nil {
 		return nil, err
 	}
 	nodes := tree(p.Decomp)
 	for _, n := range nodes {
+		if err := guard.Poll(ctx); err != nil {
+			return nil, err
+		}
 		rel, err := p.bagRelationRAM(pdb, n.bag)
 		if err != nil {
 			return nil, err
@@ -227,11 +243,11 @@ func (p *Plan) CountRAM(db query.Database) (int, error) {
 
 // buildBags compiles the PANDA-C bag subcircuits over shared inputs
 // (Algorithm 8, lines 2-6).
-func (p *Plan) buildBags(c *relcircuit.Circuit) ([]*node, error) {
+func (p *Plan) buildBags(ctx context.Context, c *relcircuit.Circuit) ([]*node, error) {
 	inputs := panda.BuildInputs(c, p.Query, p.DC)
 	nodes := tree(p.Decomp)
 	for _, n := range nodes {
-		res, err := panda.CompileInto(c, inputs, p.Query, p.DC, n.bag)
+		res, err := panda.CompileIntoCtx(ctx, c, inputs, p.Query, p.DC, n.bag)
 		if err != nil {
 			return nil, fmt.Errorf("yannakakis: bag %s: %w", n.bag.Label(p.Query.VarNames), err)
 		}
@@ -329,11 +345,16 @@ type EvalCircuit struct {
 // CompileEval builds Yannakakis-C (Algorithm 9) for the given output
 // bound.
 func (p *Plan) CompileEval(out float64) (*EvalCircuit, error) {
+	return p.CompileEvalCtx(context.Background(), out)
+}
+
+// CompileEvalCtx is CompileEval under a context (see NewPlanCtx).
+func (p *Plan) CompileEvalCtx(ctx context.Context, out float64) (*EvalCircuit, error) {
 	if out < 1 {
 		out = 1
 	}
 	c := relcircuit.New()
-	nodes, err := p.buildBags(c)
+	nodes, err := p.buildBags(ctx, c)
 	if err != nil {
 		return nil, err
 	}
@@ -367,11 +388,16 @@ func (p *Plan) CompileEval(out float64) (*EvalCircuit, error) {
 
 // Evaluate runs the evaluation circuit on a database.
 func (e *EvalCircuit) Evaluate(db query.Database, check bool) (*relation.Relation, error) {
+	return e.EvaluateCtx(context.Background(), db, check)
+}
+
+// EvaluateCtx is Evaluate under a context (see relcircuit.EvaluateCtx).
+func (e *EvalCircuit) EvaluateCtx(ctx context.Context, db query.Database, check bool) (*relation.Relation, error) {
 	pdb, err := panda.PrepareDB(e.Plan.Query, db)
 	if err != nil {
 		return nil, err
 	}
-	outs, err := e.Circuit.Evaluate(pdb, check)
+	outs, err := e.Circuit.EvaluateCtx(ctx, pdb, check)
 	if err != nil {
 		return nil, err
 	}
@@ -392,8 +418,13 @@ const CountAttr = "out"
 
 // CompileCount builds the OUT-computing circuit.
 func (p *Plan) CompileCount() (*CountCircuit, error) {
+	return p.CompileCountCtx(context.Background())
+}
+
+// CompileCountCtx is CompileCount under a context (see NewPlanCtx).
+func (p *Plan) CompileCountCtx(ctx context.Context) (*CountCircuit, error) {
 	c := relcircuit.New()
-	nodes, err := p.buildBags(c)
+	nodes, err := p.buildBags(ctx, c)
 	if err != nil {
 		return nil, err
 	}
@@ -445,11 +476,16 @@ func cntAttr(v int) string { return fmt.Sprintf("cnt·%d", v) }
 
 // Count runs the count circuit and returns |Q(D)|.
 func (cc *CountCircuit) Count(db query.Database, check bool) (int, error) {
+	return cc.CountCtx(context.Background(), db, check)
+}
+
+// CountCtx is Count under a context (see relcircuit.EvaluateCtx).
+func (cc *CountCircuit) CountCtx(ctx context.Context, db query.Database, check bool) (int, error) {
 	pdb, err := panda.PrepareDB(cc.Plan.Query, db)
 	if err != nil {
 		return 0, err
 	}
-	outs, err := cc.Circuit.Evaluate(pdb, check)
+	outs, err := cc.Circuit.EvaluateCtx(ctx, pdb, check)
 	if err != nil {
 		return 0, err
 	}

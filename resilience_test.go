@@ -1,0 +1,284 @@
+package circuitql
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"circuitql/internal/faultinject"
+	"circuitql/internal/guard"
+	"circuitql/internal/workload"
+)
+
+func triangleSetup(t *testing.T) (*Query, DCSet, Database, *CompiledQuery) {
+	t.Helper()
+	q, err := ParseQuery("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := workload.TriangleDB(workload.TriangleUniform, 42, 12)
+	dcs, err := DeriveConstraints(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, err := Compile(q, dcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, dcs, db, cq
+}
+
+// pathologicalQuery is a 5-cycle whose PANDA-C compilation takes
+// minutes: the Shannon-flow LPs have hundreds of submodularity rows.
+// Only usable under a budget or deadline.
+func pathologicalQuery(t *testing.T) (*Query, DCSet) {
+	t.Helper()
+	q, err := ParseQuery("Q(A,B,C,D,E) :- R1(A,B), R2(B,C), R3(C,D), R4(D,E), R5(E,A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, UniformCardinalities(q, 64)
+}
+
+func TestCompileLPPivotBudgetTrips(t *testing.T) {
+	q, err := ParseQuery("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Budget{MaxLPPivots: 3}
+	ctx := WithBudget(context.Background(), b)
+	_, err = CompileCtx(ctx, q, UniformCardinalities(q, 1024))
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if b.Pivots() <= 3 {
+		t.Fatalf("Pivots() = %d, want > 3", b.Pivots())
+	}
+}
+
+func TestCompileGateBudgetTrips(t *testing.T) {
+	q, err := ParseQuery("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithBudget(context.Background(), &Budget{MaxGates: 50})
+	_, err = CompileCtx(ctx, q, UniformCardinalities(q, 1024))
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestCompileDeadlineReturnsTypedError(t *testing.T) {
+	q, dcs := pathologicalQuery(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := CompileCtx(ctx, q, dcs)
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded (deadline is a budget)", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatal("deadline expiry must not classify as explicit cancellation")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("compile held the deadline hostage for %v", elapsed)
+	}
+}
+
+func TestCompileCancellationReturnsWithin100ms(t *testing.T) {
+	q, dcs := pathologicalQuery(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := CompileCtx(ctx, q, dcs)
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the compile get into the LPs
+	cancel()
+	canceledAt := time.Now()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("err = %v, want ErrCanceled", err)
+		}
+		if lag := time.Since(canceledAt); lag > 100*time.Millisecond {
+			t.Fatalf("cancellation honored after %v, want ≤ 100ms", lag)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("compile ignored cancellation")
+	}
+}
+
+func TestEvaluateResilientServesObliviousWhenHealthy(t *testing.T) {
+	_, _, db, cq := triangleSetup(t)
+	out, report, err := cq.EvaluateResilient(context.Background(), db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Served != TierOblivious {
+		t.Fatalf("served = %q, want %q (report: %s)", report.Served, TierOblivious, report)
+	}
+	if len(report.Attempts) != 1 || report.Attempts[0].Err != nil {
+		t.Fatalf("attempts = %+v", report.Attempts)
+	}
+	want, err := EvaluateRAM(cq.inner.Query, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(want) {
+		t.Fatal("resilient result differs from reference")
+	}
+}
+
+func TestEvaluateResilientDegradesToRelational(t *testing.T) {
+	q, _, db, cq := triangleSetup(t)
+	in := faultinject.New()
+	in.FailAt(faultinject.SiteWordGate, 1, nil)
+	ctx := faultinject.WithInjector(context.Background(), in)
+	out, report, err := cq.EvaluateResilient(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Served != TierRelational {
+		t.Fatalf("served = %q, want %q (report: %s)", report.Served, TierRelational, report)
+	}
+	if !errors.Is(report.Attempts[0].Err, faultinject.ErrInjected) {
+		t.Fatalf("oblivious attempt error = %v, want injected", report.Attempts[0].Err)
+	}
+	want, err := EvaluateRAM(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(want) {
+		t.Fatal("relational tier result differs from reference")
+	}
+}
+
+func TestEvaluateResilientDegradesToRAM(t *testing.T) {
+	q, _, db, cq := triangleSetup(t)
+	in := faultinject.New()
+	in.FailAt(faultinject.SiteWordGate, 1, nil)
+	in.FailAt(faultinject.SiteRelGate, 1, nil)
+	ctx := faultinject.WithInjector(context.Background(), in)
+	out, report, err := cq.EvaluateResilient(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Served != TierRAM {
+		t.Fatalf("served = %q, want %q (report: %s)", report.Served, TierRAM, report)
+	}
+	for i, tier := range []string{TierOblivious, TierRelational} {
+		if !errors.Is(report.Attempts[i].Err, faultinject.ErrInjected) {
+			t.Fatalf("%s attempt error = %v, want injected", tier, report.Attempts[i].Err)
+		}
+	}
+	want, err := EvaluateRAM(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(want) {
+		t.Fatal("RAM tier result differs from reference")
+	}
+}
+
+func TestEvaluateResilientAllTiersFail(t *testing.T) {
+	_, _, db, cq := triangleSetup(t)
+	in := faultinject.New()
+	in.FailAt(faultinject.SiteWordGate, 1, nil)
+	in.FailAt(faultinject.SiteRelGate, 1, nil)
+	in.FailAt(faultinject.SiteRAMJoin, 1, nil)
+	ctx := faultinject.WithInjector(context.Background(), in)
+	_, report, err := cq.EvaluateResilient(ctx, db)
+	if err == nil {
+		t.Fatal("expected failure when every tier is faulted")
+	}
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want injected cause", err)
+	}
+	if len(report.Attempts) != 3 || report.Served != "" {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestEvaluateResilientContainsPanics(t *testing.T) {
+	q, _, db, cq := triangleSetup(t)
+	in := faultinject.New()
+	in.PanicAt(faultinject.SiteWordGate, 1, "injected chaos")
+	ctx := faultinject.WithInjector(context.Background(), in)
+	out, report, err := cq.EvaluateResilient(ctx, db)
+	if err != nil {
+		t.Fatalf("panic escaped containment: %v", err)
+	}
+	if report.Served != TierRelational {
+		t.Fatalf("served = %q, want %q", report.Served, TierRelational)
+	}
+	oblErr := report.Attempts[0].Err
+	if !errors.Is(oblErr, ErrInternal) {
+		t.Fatalf("oblivious attempt error = %v, want ErrInternal", oblErr)
+	}
+	var ie *guard.InternalError
+	if !errors.As(oblErr, &ie) || ie.Payload != "injected chaos" {
+		t.Fatalf("panic payload not preserved: %v", oblErr)
+	}
+	want, err := EvaluateRAM(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(want) {
+		t.Fatal("result differs from reference after panic containment")
+	}
+}
+
+func TestEvaluateValidatesDatabaseUpfront(t *testing.T) {
+	q, _, db, cq := triangleSetup(t)
+
+	// Missing relation.
+	broken := Database{}
+	for k, v := range db {
+		broken[k] = v
+	}
+	delete(broken, "T")
+	if _, err := cq.Evaluate(broken); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("missing relation: err = %v, want ErrInvalidInput", err)
+	}
+
+	// Arity mismatch.
+	bad := Database{}
+	for k, v := range db {
+		bad[k] = v
+	}
+	bad["T"] = NewRelation("A")
+	if _, err := cq.Evaluate(bad); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("arity mismatch: err = %v, want ErrInvalidInput", err)
+	}
+
+	// Cardinality overrun against the compiled constraint set.
+	big := Database{}
+	for k, v := range db {
+		big[k] = v
+	}
+	over := NewRelation("A", "B")
+	for i := int64(0); i < 1000; i++ {
+		over.Insert(i, i+1)
+	}
+	big["R"] = over
+	if _, err := cq.Evaluate(big); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("cardinality overrun: err = %v, want ErrInvalidInput", err)
+	}
+
+	// The RAM reference validates the query/database pairing too.
+	if _, err := EvaluateRAM(q, bad); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("EvaluateRAM arity mismatch: err = %v, want ErrInvalidInput", err)
+	}
+}
+
+func TestEvaluateRowBudgetTrips(t *testing.T) {
+	_, _, db, cq := triangleSetup(t)
+	ctx := WithBudget(context.Background(), &Budget{MaxRows: 1})
+	_, err := cq.EvaluateRelationalCtx(ctx, db, false)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}

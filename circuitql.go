@@ -39,6 +39,7 @@ import (
 
 	"circuitql/internal/bitblast"
 	"circuitql/internal/core"
+	"circuitql/internal/guard"
 	"circuitql/internal/panda"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
@@ -216,7 +217,16 @@ func LoadArtifact(r io.Reader) (*Artifact, error) {
 // artifact's input specs demand (for PANDA artifacts: panda.PrepareDB
 // naming, which EvaluatePrepared of the original CompiledQuery used).
 func (a *Artifact) Evaluate(db map[string]*Relation) (map[int]*Relation, error) {
-	return a.oc.Evaluate(db)
+	return a.EvaluateCtx(context.Background(), db)
+}
+
+// EvaluateCtx is Evaluate under a context, matching the facade's other
+// Ctx variants: the gate loop polls ctx (deadline and cancellation
+// surface as ErrBudgetExceeded / ErrCanceled), any guard.Budget carried
+// by ctx applies, and panics are contained as ErrInternal.
+func (a *Artifact) EvaluateCtx(ctx context.Context, db map[string]*Relation) (out map[int]*Relation, err error) {
+	defer guard.Recover(&err)
+	return a.oc.EvaluateCtx(ctx, db)
 }
 
 // Gates returns the loaded circuit's word-gate count.

@@ -1,0 +1,84 @@
+// Serving facade: a long-lived Engine that amortizes compilation across
+// requests via a canonical plan cache and evaluates concurrently.
+//
+// The paper's circuits are data independent — compiled once per
+// (query, DC set) and valid for every conforming database — which makes
+// them cacheable plans. Engine keys the cache by the canonical
+// fingerprint of the pair (variables alpha-renamed into canonical order,
+// atoms and constraints sorted, then hashed), so structurally identical
+// requests share one plan regardless of variable names or atom order;
+// concurrent cold requests for the same fingerprint compile once
+// (singleflight); eviction is cost-aware LRU charged by gate count; and
+// each evaluation runs the tiered ladder of EvaluateResilient under the
+// caller's context and Budget.
+package circuitql
+
+import (
+	"context"
+
+	"circuitql/internal/engine"
+	"circuitql/internal/query"
+)
+
+// EngineConfig sizes an Engine; see the field docs in internal/engine.
+// The zero value selects sensible defaults (GOMAXPROCS workers, 4M-gate
+// cache, wide-level parallel routing at 4096 gates per level).
+type EngineConfig = engine.Config
+
+// EngineMetrics is a point-in-time snapshot of an Engine's counters:
+// cache hits/misses/evictions, compile dedup, per-tier serve counts,
+// in-flight requests, and compile/eval latency histograms.
+type EngineMetrics = engine.Metrics
+
+// ServeResult is the outcome of one Engine request: the output relation
+// (columns named and ordered by the request's free variables), the plan
+// fingerprint, cache-hit flag, the tier that served, per-tier attempts,
+// and compile/eval timings.
+type ServeResult = engine.Result
+
+// Fingerprint identifies a (query, DC set) pair up to variable renaming
+// and atom/constraint reordering.
+type Fingerprint = query.Fingerprint
+
+// QueryFingerprint is the canonical fingerprint of a (query, DC set)
+// pair: invariant under variable renaming and atom/constraint
+// reordering, distinct for structurally different pairs. It is the plan
+// cache's key, exported for observability and external caching layers.
+func QueryFingerprint(q *Query, dcs DCSet) (Fingerprint, error) {
+	return query.QueryFingerprint(q, dcs)
+}
+
+// Engine is a long-lived serving engine over the compile/evaluate
+// pipeline. Create with NewEngine, stop with Close. Safe for concurrent
+// use.
+type Engine struct {
+	inner *engine.Engine
+}
+
+// NewEngine starts a serving engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	return &Engine{inner: engine.New(cfg)}
+}
+
+// Serve evaluates one request to completion on the engine's worker
+// pool: fetch or compile the plan for (q, dcs), validate db against it,
+// evaluate through the tiers, and return the output named by q's free
+// variables. The context's deadline, cancellation, and any Budget
+// attached with WithBudget apply to both compilation and evaluation.
+func (e *Engine) Serve(ctx context.Context, q *Query, dcs DCSet, db Database) ServeResult {
+	return e.inner.Serve(ctx, engine.Request{Query: q, DCs: dcs, DB: db})
+}
+
+// Submit enqueues a request and returns a channel that will receive
+// exactly one ServeResult, so independent requests fan out across the
+// bounded worker pool.
+func (e *Engine) Submit(ctx context.Context, q *Query, dcs DCSet, db Database) <-chan ServeResult {
+	return e.inner.Submit(ctx, engine.Request{Query: q, DCs: dcs, DB: db})
+}
+
+// Close stops accepting requests, drains queued ones, and waits for the
+// workers to finish. Safe to call more than once.
+func (e *Engine) Close() error { return e.inner.Close() }
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() EngineMetrics { return e.inner.Metrics() }

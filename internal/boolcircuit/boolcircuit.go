@@ -15,6 +15,7 @@ package boolcircuit
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"circuitql/internal/faultinject"
 	"circuitql/internal/guard"
@@ -74,7 +75,8 @@ type Circuit struct {
 	hash    map[Gate]int
 	maxDep  int32
 
-	levelCache  [][]int32 // lazily built depth buckets for parallel evaluation
+	levelMu     sync.Mutex // guards the level cache for concurrent evaluators
+	levelCache  [][]int32  // lazily built depth buckets for parallel evaluation
 	levelCacheN int
 }
 

@@ -1,9 +1,12 @@
 package boolcircuit
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+
+	"circuitql/internal/guard"
 )
 
 // EvaluateParallel evaluates the circuit on the given inputs using up to
@@ -22,7 +25,19 @@ import (
 // reproduction's observations.
 //
 // workers ≤ 0 selects GOMAXPROCS.
+//
+// EvaluateParallel is safe for concurrent use by multiple goroutines on
+// a finished circuit: each call owns its value array, and the shared
+// level cache is built under a lock. (Concurrent evaluation while gates
+// are still being added is not supported, matching Evaluate.)
 func (c *Circuit) EvaluateParallel(inputs []int64, workers int) ([]int64, error) {
+	return c.EvaluateParallelCtx(context.Background(), inputs, workers)
+}
+
+// EvaluateParallelCtx is EvaluateParallel under a context: the context
+// is polled at every level barrier, so cancellation and deadlines cut a
+// deep evaluation short between levels.
+func (c *Circuit) EvaluateParallelCtx(ctx context.Context, inputs []int64, workers int) ([]int64, error) {
 	if len(inputs) != len(c.inputs) {
 		return nil, fmt.Errorf("boolcircuit: got %d inputs, want %d", len(inputs), len(c.inputs))
 	}
@@ -30,7 +45,7 @@ func (c *Circuit) EvaluateParallel(inputs []int64, workers int) ([]int64, error)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 {
-		return c.Evaluate(inputs)
+		return c.EvaluateCtx(ctx, inputs)
 	}
 
 	levels := c.levelBuckets()
@@ -48,6 +63,9 @@ func (c *Circuit) EvaluateParallel(inputs []int64, workers int) ([]int64, error)
 
 	var wg sync.WaitGroup
 	for d := int32(1); d <= c.maxDep; d++ {
+		if err := guard.Poll(ctx); err != nil {
+			return nil, err
+		}
 		level := levels[d]
 		if len(level) == 0 {
 			continue
@@ -80,8 +98,13 @@ func (c *Circuit) EvaluateParallel(inputs []int64, workers int) ([]int64, error)
 }
 
 // levelBuckets groups computation-gate ids by depth, cached across
-// evaluations (rebuilt if the circuit grew since the last call).
+// evaluations (rebuilt if the circuit grew since the last call). The
+// cache is guarded by levelMu so a circuit shared by concurrent
+// EvaluateParallel callers — the serving engine evaluates one compiled
+// plan from many workers at once — builds it exactly once.
 func (c *Circuit) levelBuckets() [][]int32 {
+	c.levelMu.Lock()
+	defer c.levelMu.Unlock()
 	if c.levelCacheN == len(c.gates) && c.levelCache != nil {
 		return c.levelCache
 	}

@@ -151,6 +151,36 @@ func (oc *ObliviousCircuit) Evaluate(db map[string]*relation.Relation) (map[int]
 
 // EvaluateCtx is Evaluate under a context (see boolcircuit.EvaluateCtx).
 func (oc *ObliviousCircuit) EvaluateCtx(ctx context.Context, db map[string]*relation.Relation) (map[int]*relation.Relation, error) {
+	inputs, err := oc.pack(db)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := oc.C.EvaluateCtx(ctx, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return oc.decode(raw)
+}
+
+// EvaluateParallelCtx is EvaluateCtx with the gate loop spread over up
+// to workers goroutines, level by level (Brent's schedule; see
+// boolcircuit.EvaluateParallelCtx). Worth it only for wide circuits —
+// the serving engine routes a plan here when its widest level clears a
+// threshold.
+func (oc *ObliviousCircuit) EvaluateParallelCtx(ctx context.Context, db map[string]*relation.Relation, workers int) (map[int]*relation.Relation, error) {
+	inputs, err := oc.pack(db)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := oc.C.EvaluateParallelCtx(ctx, inputs, workers)
+	if err != nil {
+		return nil, err
+	}
+	return oc.decode(raw)
+}
+
+// pack lays the named relations out as the circuit's input words.
+func (oc *ObliviousCircuit) pack(db map[string]*relation.Relation) ([]int64, error) {
 	var inputs []int64
 	for _, spec := range oc.Inputs {
 		rel, ok := db[spec.Name]
@@ -163,10 +193,11 @@ func (oc *ObliviousCircuit) EvaluateCtx(ctx context.Context, db map[string]*rela
 		}
 		inputs = append(inputs, packed...)
 	}
-	raw, err := oc.C.EvaluateCtx(ctx, inputs)
-	if err != nil {
-		return nil, err
-	}
+	return inputs, nil
+}
+
+// decode recovers every output relation from the circuit's raw words.
+func (oc *ObliviousCircuit) decode(raw []int64) (map[int]*relation.Relation, error) {
 	out := make(map[int]*relation.Relation, len(oc.Outputs))
 	for _, spec := range oc.Outputs {
 		width := spec.Capacity * (1 + len(spec.Schema))
@@ -243,6 +274,20 @@ func (cq *Compiled) EvaluateObliviousCtx(ctx context.Context, db query.Database)
 		return nil, err
 	}
 	outs, err := cq.Obliv.EvaluateCtx(ctx, pdb)
+	if err != nil {
+		return nil, err
+	}
+	return outs[cq.RelOutput], nil
+}
+
+// EvaluateObliviousParallelCtx is EvaluateObliviousCtx with the gate
+// loop spread over up to workers goroutines (Brent's schedule).
+func (cq *Compiled) EvaluateObliviousParallelCtx(ctx context.Context, db query.Database, workers int) (*relation.Relation, error) {
+	pdb, err := panda.PrepareDB(cq.Query, db)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := cq.Obliv.EvaluateParallelCtx(ctx, pdb, workers)
 	if err != nil {
 		return nil, err
 	}

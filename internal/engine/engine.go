@@ -1,0 +1,486 @@
+// Package engine is the serving layer over the compile/evaluate
+// pipeline: a long-lived process that amortizes compilation across
+// requests and evaluates them concurrently.
+//
+// The paper's central object — a data-independent circuit compiled once
+// per (query, DC set) and reusable for every conforming database — is a
+// query plan in the factorised/compilation sense, so the engine treats
+// it like one:
+//
+//   - plans are cached under the canonical fingerprint of the pair
+//     (query.Canonicalize), so structurally identical requests share one
+//     plan regardless of variable names or atom/constraint order;
+//   - concurrent first requests for the same fingerprint are
+//     deduplicated: one compiles, the rest wait (singleflight);
+//   - the cache is a cost-aware LRU charged by gate count, so a handful
+//     of enormous circuits cannot squeeze out every small plan;
+//   - each request evaluates under the caller's context and
+//     guard.Budget, through the tiered strategy of the facade's
+//     EvaluateResilient (oblivious → relational → RAM), with wide
+//     circuits routed through the level-parallel evaluator;
+//   - independent requests fan out across a bounded worker pool.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"circuitql/internal/core"
+	"circuitql/internal/guard"
+	"circuitql/internal/query"
+	"circuitql/internal/relation"
+)
+
+// Evaluation tier names, in degradation order (mirrors the facade).
+const (
+	TierOblivious  = "oblivious"
+	TierRelational = "relational"
+	TierRAM        = "ram"
+)
+
+// Config sizes the engine. The zero value selects sensible defaults.
+type Config struct {
+	// MaxCacheGates caps the summed gate count (relational + oblivious)
+	// of cached plans; the least recently used plans are evicted beyond
+	// it. 0 selects 1<<22 gates; negative means unlimited.
+	MaxCacheGates int64
+	// MaxPlans optionally caps the number of cached plans regardless of
+	// size. 0 means no count cap.
+	MaxPlans int
+	// Workers is the size of the request worker pool. 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth is the submission queue length beyond the workers.
+	// 0 selects 2×Workers.
+	QueueDepth int
+	// WideLevelThreshold routes a plan's oblivious evaluation through
+	// the level-parallel evaluator when its widest circuit level has at
+	// least this many gates. 0 selects 4096; negative disables parallel
+	// routing.
+	WideLevelThreshold int
+	// EvalWorkers is the goroutine count for one parallel evaluation.
+	// 0 selects GOMAXPROCS.
+	EvalWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCacheGates == 0 {
+		c.MaxCacheGates = 1 << 22
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.WideLevelThreshold == 0 {
+		c.WideLevelThreshold = 4096
+	}
+	return c
+}
+
+// Request is one evaluation: a query, the degree constraints the plan
+// is compiled against, and the database to evaluate on.
+type Request struct {
+	Query *query.Query
+	DCs   query.DCSet
+	DB    query.Database
+}
+
+// TierAttempt records one tier's outcome (nil error for the tier that
+// served).
+type TierAttempt struct {
+	Tier string
+	Err  error
+}
+
+// Result is the outcome of one request.
+type Result struct {
+	Output *relation.Relation
+	Err    error
+
+	Fingerprint query.Fingerprint
+	CacheHit    bool   // plan came from the cache (no compile waited on)
+	Tier        string // tier that served the output
+	Attempts    []TierAttempt
+	CompileTime time.Duration // time spent waiting for the plan (0 on hit)
+	EvalTime    time.Duration
+}
+
+// Engine is the serving engine. Create with New, stop with Close.
+type Engine struct {
+	cfg Config
+
+	mu      sync.Mutex // guards cache, flights, closed
+	cache   *planCache
+	flights *flightGroup
+	closed  bool
+
+	jobs    chan *job
+	submitM sync.RWMutex // held (R) while sending on jobs; (W) by Close
+	wg      sync.WaitGroup
+
+	// counters (metrics.go holds the snapshot type)
+	hits, misses, evictions    atomic.Int64
+	compiles, compileErrs      atomic.Int64
+	requests, inFlight, failed atomic.Int64
+	servedObliv, servedRel     atomic.Int64
+	servedRAM                  atomic.Int64
+	compileLat, evalLat        latencyHist
+}
+
+type job struct {
+	ctx context.Context
+	req Request
+	out chan Result
+}
+
+// New starts an engine with the given configuration.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		cache:   newPlanCache(cfg.MaxCacheGates, cfg.MaxPlans),
+		flights: newFlightGroup(),
+		jobs:    make(chan *job, cfg.QueueDepth),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.jobs {
+		j.out <- e.process(j.ctx, j.req)
+	}
+}
+
+// Submit enqueues a request on the worker pool and returns a channel
+// that will receive exactly one Result. Submission blocks only when the
+// queue is full; a canceled context or a closed engine resolves the
+// result immediately with an error.
+func (e *Engine) Submit(ctx context.Context, req Request) <-chan Result {
+	out := make(chan Result, 1)
+	e.submitM.RLock()
+	defer e.submitM.RUnlock()
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		out <- Result{Err: fmt.Errorf("%w: engine is closed", guard.ErrInvalidInput)}
+		return out
+	}
+	select {
+	case e.jobs <- &job{ctx: ctx, req: req, out: out}:
+	case <-ctxDone(ctx):
+		out <- Result{Err: guard.Poll(ctx)}
+	}
+	return out
+}
+
+// Serve runs one request to completion on the worker pool.
+func (e *Engine) Serve(ctx context.Context, req Request) Result {
+	select {
+	case res := <-e.Submit(ctx, req):
+		return res
+	case <-ctxDone(ctx):
+		// The job may still run (it polls ctx itself and fails fast);
+		// the caller gets the cancellation immediately.
+		return Result{Err: guard.Poll(ctx)}
+	}
+}
+
+// ServeBatch fans a batch of independent requests across the pool and
+// waits for all of them; results are positional.
+func (e *Engine) ServeBatch(ctx context.Context, reqs []Request) []Result {
+	chans := make([]<-chan Result, len(reqs))
+	for i, r := range reqs {
+		chans[i] = e.Submit(ctx, r)
+	}
+	out := make([]Result, len(reqs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	return out
+}
+
+// Close stops accepting requests, drains queued ones, and waits for the
+// workers to finish. Safe to call more than once.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	// Take the write half so no Submit is mid-send, then close the
+	// queue: workers drain what was accepted and exit.
+	e.submitM.Lock()
+	close(e.jobs)
+	e.submitM.Unlock()
+	e.wg.Wait()
+	return nil
+}
+
+// Metrics returns a snapshot of the engine's counters.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	plans, gates := e.cache.len(), e.cache.gates
+	e.mu.Unlock()
+	return Metrics{
+		Hits:             e.hits.Load(),
+		Misses:           e.misses.Load(),
+		Evictions:        e.evictions.Load(),
+		Compiles:         e.compiles.Load(),
+		CompileErrors:    e.compileErrs.Load(),
+		Requests:         e.requests.Load(),
+		InFlight:         e.inFlight.Load(),
+		Failed:           e.failed.Load(),
+		ServedOblivious:  e.servedObliv.Load(),
+		ServedRelational: e.servedRel.Load(),
+		ServedRAM:        e.servedRAM.Load(),
+		CachedPlans:      plans,
+		CachedGates:      gates,
+		CompileLatency:   e.compileLat.snapshot(),
+		EvalLatency:      e.evalLat.snapshot(),
+	}
+}
+
+// process runs one request: canonicalize, fetch-or-compile the plan,
+// validate the database, evaluate through the tiers, and rename the
+// output back to the request's variable names.
+func (e *Engine) process(ctx context.Context, req Request) (res Result) {
+	e.requests.Add(1)
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	defer func() {
+		if res.Err != nil {
+			e.failed.Add(1)
+		}
+	}()
+	var err error
+	defer guard.Recover(&err)
+	res = e.processInner(ctx, req)
+	if err != nil && res.Err == nil {
+		res.Err = err
+	}
+	return res
+}
+
+func (e *Engine) processInner(ctx context.Context, req Request) Result {
+	if err := guard.Poll(ctx); err != nil {
+		return Result{Err: err}
+	}
+	canon, err := query.Canonicalize(req.Query, req.DCs)
+	if err != nil {
+		return Result{Err: guard.Invalidf("engine: %v", err)}
+	}
+	res := Result{Fingerprint: canon.FP}
+
+	compileStart := time.Now()
+	ent, hit, err := e.plan(ctx, canon)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.CacheHit = hit
+	if !hit {
+		res.CompileTime = time.Since(compileStart)
+	}
+
+	if err := query.ValidateDB(req.Query, req.DCs, req.DB); err != nil {
+		res.Err = err
+		return res
+	}
+
+	evalStart := time.Now()
+	out, tier, attempts, err := e.evaluate(ctx, ent, req)
+	res.EvalTime = time.Since(evalStart)
+	res.Attempts = attempts
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	e.evalLat.observe(res.EvalTime)
+	res.Tier = tier
+	switch tier {
+	case TierOblivious:
+		e.servedObliv.Add(1)
+	case TierRelational:
+		e.servedRel.Add(1)
+	case TierRAM:
+		e.servedRAM.Add(1)
+	}
+	if tier != TierRAM {
+		out = renameOutput(out, canon, req.Query)
+	}
+	res.Output = out
+	return res
+}
+
+// plan returns the cached plan for the canonical pair, joining or
+// leading a compile flight on a miss. hit reports a cache hit (no
+// waiting on a compile).
+func (e *Engine) plan(ctx context.Context, canon *query.Canonical) (_ *entry, hit bool, _ error) {
+	e.mu.Lock()
+	if ent := e.cache.get(canon.FP); ent != nil {
+		e.mu.Unlock()
+		e.hits.Add(1)
+		return ent, true, nil
+	}
+	e.misses.Add(1)
+	fl, leader := e.flights.join(canon.FP)
+	e.mu.Unlock()
+
+	if !leader {
+		select {
+		case <-fl.done:
+			return fl.ent, false, fl.err
+		case <-ctxDone(ctx):
+			// The leader keeps compiling for everyone else.
+			return nil, false, guard.Poll(ctx)
+		}
+	}
+
+	ent, err := e.compile(ctx, canon)
+	e.mu.Lock()
+	if err == nil {
+		if n := e.cache.add(ent); n > 0 {
+			e.evictions.Add(int64(n))
+		}
+	}
+	fl.ent, fl.err = ent, err
+	e.flights.leave(canon.FP)
+	e.mu.Unlock()
+	close(fl.done)
+	return ent, false, err
+}
+
+// compile builds the plan entry for a canonical pair. Deterministic
+// failures (a non-full query, invalid structure, an internal compiler
+// fault) produce a sticky RAM-only entry so the pair is not recompiled;
+// transient failures (cancellation, budget) return an error and leave
+// nothing cached.
+func (e *Engine) compile(ctx context.Context, canon *query.Canonical) (*entry, error) {
+	ent := &entry{fp: canon.FP, canon: canon}
+	if !canon.Query.IsFull() {
+		// Theorem 3/4 plans exist for full CQs; everything else is
+		// served by the RAM tier (output-sensitive circuits are a
+		// separate facade path).
+		ent.compileErr = guard.Invalidf("engine: %s is not a full conjunctive query; serving from the RAM tier", canon.Query)
+		ent.gates = 1
+		return ent, nil
+	}
+	start := time.Now()
+	var compiled *core.Compiled
+	err := func() (err error) {
+		defer guard.Recover(&err)
+		compiled, err = core.CompileQueryCtx(ctx, canon.Query, canon.DCs)
+		return err
+	}()
+	e.compiles.Add(1)
+	e.compileLat.observe(time.Since(start))
+	if err != nil {
+		e.compileErrs.Add(1)
+		if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrBudgetExceeded) {
+			return nil, err
+		}
+		ent.compileErr = err
+		ent.gates = 1
+		return ent, nil
+	}
+	ent.compiled = compiled
+	ent.gates = int64(compiled.Rel.Size() + compiled.Obliv.C.Size())
+	if ent.gates < 1 {
+		ent.gates = 1
+	}
+	for _, w := range compiled.Obliv.C.LevelSizes() {
+		if w > ent.wideLevel {
+			ent.wideLevel = w
+		}
+	}
+	return ent, nil
+}
+
+// evaluate runs the tier ladder for one request. All tiers compute the
+// same Q(D), so a fault in a faster tier degrades the strategy, never
+// the answer. When the plan is RAM-only (sticky compile failure) the
+// ladder starts at the RAM tier, with the pinned reason recorded.
+func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request) (*relation.Relation, string, []TierAttempt, error) {
+	type tier struct {
+		name string
+		run  func() (*relation.Relation, error)
+	}
+	var tiers []tier
+	var attempts []TierAttempt
+	if ent.compiled != nil {
+		tiers = append(tiers,
+			tier{TierOblivious, func() (out *relation.Relation, err error) {
+				defer guard.Recover(&err)
+				if e.cfg.WideLevelThreshold > 0 && ent.wideLevel >= e.cfg.WideLevelThreshold {
+					return ent.compiled.EvaluateObliviousParallelCtx(ctx, req.DB, e.cfg.EvalWorkers)
+				}
+				return ent.compiled.EvaluateObliviousCtx(ctx, req.DB)
+			}},
+			tier{TierRelational, func() (out *relation.Relation, err error) {
+				defer guard.Recover(&err)
+				return ent.compiled.EvaluateRelationalCtx(ctx, req.DB, false)
+			}},
+		)
+	} else {
+		attempts = append(attempts, TierAttempt{Tier: TierOblivious, Err: ent.compileErr})
+	}
+	tiers = append(tiers, tier{TierRAM, func() (out *relation.Relation, err error) {
+		defer guard.Recover(&err)
+		return query.EvaluateCtx(ctx, req.Query, req.DB)
+	}})
+
+	for _, t := range tiers {
+		out, err := t.run()
+		attempts = append(attempts, TierAttempt{Tier: t.name, Err: err})
+		if err == nil {
+			return out, t.name, attempts, nil
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return nil, "", attempts, err
+		}
+	}
+	last := attempts[len(attempts)-1].Err
+	return nil, "", attempts, fmt.Errorf("engine: all evaluation tiers failed: %w", last)
+}
+
+// renameOutput maps a canonical plan's output columns back to the
+// request's variable names and column order. The circuit computed the
+// canonical query, whose free variables are x<i>; VarMap says which
+// request variable each one is.
+func renameOutput(out *relation.Relation, canon *query.Canonical, reqQ *query.Query) *relation.Relation {
+	if out == nil || reqQ.Free.Empty() {
+		return out
+	}
+	m := make(map[string]string, reqQ.Free.Len())
+	names := make([]string, 0, reqQ.Free.Len())
+	for _, v := range reqQ.Free.Vars() {
+		reqName := reqQ.VarNames[v]
+		m[canon.Query.VarNames[canon.VarMap[v]]] = reqName
+		names = append(names, reqName)
+	}
+	return out.Rename(m).Project(names...)
+}
+
+// ctxDone tolerates a nil context (the facade allows it).
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}

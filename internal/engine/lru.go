@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"container/list"
+
+	"circuitql/internal/core"
+	"circuitql/internal/query"
+)
+
+// entry is one cached plan: the canonical form it was compiled from and
+// either the compiled circuits or a sticky compile failure. Entries are
+// immutable after insertion, so evaluation never holds the cache lock.
+type entry struct {
+	fp       query.Fingerprint
+	canon    *query.Canonical
+	compiled *core.Compiled // nil when compileErr is set
+	// compileErr is a deterministic, structural compile failure (e.g. a
+	// non-full query, which has no Theorem-4 circuit). The entry then
+	// pins the RAM tier so repeated requests don't recompile a plan
+	// that can never exist.
+	compileErr error
+	gates      int64 // cost charged against Config.MaxCacheGates
+	wideLevel  int   // widest oblivious circuit level, for routing
+	elem       *list.Element
+}
+
+// planCache is a cost-aware LRU: entries are charged by gate count
+// (Stats() of the compiled plan), so one enormous circuit displaces many
+// small ones. Not self-locking — the engine's mutex guards all calls.
+type planCache struct {
+	maxGates int64
+	maxPlans int
+	entries  map[query.Fingerprint]*entry
+	order    *list.List // front = most recently used
+	gates    int64
+}
+
+func newPlanCache(maxGates int64, maxPlans int) *planCache {
+	return &planCache{
+		maxGates: maxGates,
+		maxPlans: maxPlans,
+		entries:  map[query.Fingerprint]*entry{},
+		order:    list.New(),
+	}
+}
+
+// get returns the entry and marks it most recently used.
+func (c *planCache) get(fp query.Fingerprint) *entry {
+	e, ok := c.entries[fp]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(e.elem)
+	return e
+}
+
+// add inserts an entry and evicts least-recently-used entries until the
+// cache is within its gate and plan budgets, returning how many were
+// evicted. The newest entry is never evicted, even if it alone exceeds
+// the budget — the request that compiled it still gets amortization for
+// immediate repeats, and the next insert will displace it normally.
+func (c *planCache) add(e *entry) (evicted int) {
+	if old, ok := c.entries[e.fp]; ok {
+		// Lost a benign race (flight cleared, recompiled): keep the old.
+		c.order.MoveToFront(old.elem)
+		return 0
+	}
+	e.elem = c.order.PushFront(e)
+	c.entries[e.fp] = e
+	c.gates += e.gates
+	for c.order.Len() > 1 &&
+		((c.maxGates > 0 && c.gates > c.maxGates) || (c.maxPlans > 0 && c.order.Len() > c.maxPlans)) {
+		back := c.order.Back()
+		victim := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.entries, victim.fp)
+		c.gates -= victim.gates
+		evicted++
+	}
+	return evicted
+}
+
+func (c *planCache) len() int { return c.order.Len() }

@@ -1,0 +1,43 @@
+package engine
+
+import "circuitql/internal/query"
+
+// flight is one in-progress compilation that concurrent requests for the
+// same fingerprint share instead of compiling redundantly. The leader
+// closes done exactly once with ent or err set; followers wait on done
+// (or their own context).
+type flight struct {
+	done chan struct{}
+	// Exactly one of ent / err is set when done is closed. ent may also
+	// carry a sticky compileErr — that is a *successful* flight whose
+	// outcome is "this pair has no circuit plan".
+	ent *entry
+	err error // transient failure (canceled, budget): flight not cached
+}
+
+// flightGroup deduplicates compiles by fingerprint. Not self-locking —
+// the engine's mutex guards join/leave.
+type flightGroup struct {
+	flights map[query.Fingerprint]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: map[query.Fingerprint]*flight{}}
+}
+
+// join returns the in-progress flight for fp, or registers a new one
+// with the caller as leader.
+func (g *flightGroup) join(fp query.Fingerprint) (fl *flight, leader bool) {
+	if fl, ok := g.flights[fp]; ok {
+		return fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	g.flights[fp] = fl
+	return fl, true
+}
+
+// leave removes a finished flight so later requests start fresh (on a
+// transient failure) or hit the cache (on success).
+func (g *flightGroup) leave(fp query.Fingerprint) {
+	delete(g.flights, fp)
+}

@@ -1,0 +1,226 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// permutePair builds a structurally identical variant of (q, dcs):
+// variables are renamed and re-indexed by a random permutation, atoms
+// and constraints are shuffled. Its fingerprint must match the original.
+func permutePair(q *Query, dcs DCSet, rng *rand.Rand) (*Query, DCSet) {
+	n := q.NVars()
+	perm := rng.Perm(n)
+	out := &Query{VarNames: make([]string, n), Free: mapSet(q.Free, perm)}
+	for v := 0; v < n; v++ {
+		// Fresh names in permuted slots: alpha-renaming plus re-indexing.
+		out.VarNames[perm[v]] = "W" + q.VarNames[v]
+	}
+	for _, a := range q.Atoms {
+		vars := make([]int, len(a.Vars))
+		for i, v := range a.Vars {
+			vars[i] = perm[v]
+		}
+		out.Atoms = append(out.Atoms, Atom{Name: a.Name, Vars: vars})
+	}
+	rng.Shuffle(len(out.Atoms), func(i, j int) {
+		out.Atoms[i], out.Atoms[j] = out.Atoms[j], out.Atoms[i]
+	})
+	mapped := make(DCSet, len(dcs))
+	for i, dc := range dcs {
+		mapped[i] = DegreeConstraint{X: mapSet(dc.X, perm), Y: mapSet(dc.Y, perm), N: dc.N}
+	}
+	rng.Shuffle(len(mapped), func(i, j int) { mapped[i], mapped[j] = mapped[j], mapped[i] })
+	return out, mapped
+}
+
+func TestFingerprintInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, e := range Catalog() {
+		dcs := Cardinalities(e.Query, 64)
+		// A non-uniform constraint set exercises DC-aware canonization.
+		if len(dcs) > 1 {
+			dcs[0].N = 16
+		}
+		c, err := Canonicalize(e.Query, dcs)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if !c.Complete {
+			t.Fatalf("%s: canonical search truncated", e.Name)
+		}
+		for trial := 0; trial < 20; trial++ {
+			q2, dcs2 := permutePair(e.Query, dcs, rng)
+			c2, err := Canonicalize(q2, dcs2)
+			if err != nil {
+				t.Fatalf("%s trial %d: %v", e.Name, trial, err)
+			}
+			if c2.FP != c.FP {
+				t.Fatalf("%s trial %d: permuted variant changed fingerprint\n orig %s\n perm %s",
+					e.Name, trial, e.Query, q2)
+			}
+		}
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	seen := map[Fingerprint]string{}
+	for _, e := range Catalog() {
+		fp, err := QueryFingerprint(e.Query, Cardinalities(e.Query, 64))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("catalog queries %s and %s share a fingerprint", prev, e.Name)
+		}
+		seen[fp] = e.Name
+	}
+
+	// The constraint set is part of the key: the same query under a
+	// different bound (or an extra degree constraint) is a new plan.
+	q := Triangle()
+	fp64, _ := QueryFingerprint(q, Cardinalities(q, 64))
+	fp128, _ := QueryFingerprint(q, Cardinalities(q, 128))
+	if fp64 == fp128 {
+		t.Fatal("cardinality bound not reflected in fingerprint")
+	}
+	withDeg, _ := ParseDC(q, "R <= 64; S <= 64; T <= 64; R|A <= 4")
+	fpDeg, _ := QueryFingerprint(q, withDeg)
+	if fpDeg == fp64 {
+		t.Fatal("degree constraint not reflected in fingerprint")
+	}
+
+	// Relation names are part of the structure.
+	q2 := MustParse("Q(A,B,C) :- R(A,B), S(B,C), U(A,C)")
+	fpU, _ := QueryFingerprint(q2, Cardinalities(q2, 64))
+	if fpU == fp64 {
+		t.Fatal("relation name not reflected in fingerprint")
+	}
+
+	// Free variables are part of the structure.
+	full := Path2()
+	proj := Path2Projected()
+	fpFull, _ := QueryFingerprint(full, Cardinalities(full, 64))
+	fpProj, _ := QueryFingerprint(proj, Cardinalities(proj, 64))
+	if fpFull == fpProj {
+		t.Fatal("free-variable set not reflected in fingerprint")
+	}
+}
+
+// TestCanonicalizeWellFormed checks the canonical form is itself a valid
+// (query, DC) pair, that VarMap is the advertised bijection, and that
+// canonicalization is idempotent.
+func TestCanonicalizeWellFormed(t *testing.T) {
+	for _, e := range Catalog() {
+		dcs := Cardinalities(e.Query, 32)
+		c, err := Canonicalize(e.Query, dcs)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if err := c.Query.Validate(); err != nil {
+			t.Fatalf("%s: canonical query invalid: %v", e.Name, err)
+		}
+		if err := c.DCs.Validate(c.Query); err != nil {
+			t.Fatalf("%s: canonical DCs invalid: %v", e.Name, err)
+		}
+		seen := make([]bool, len(c.VarMap))
+		for _, cv := range c.VarMap {
+			if cv < 0 || cv >= len(seen) || seen[cv] {
+				t.Fatalf("%s: VarMap %v is not a permutation", e.Name, c.VarMap)
+			}
+			seen[cv] = true
+		}
+		if c.Query.Free != mapSet(e.Query.Free, c.VarMap) {
+			t.Fatalf("%s: free variables not carried by VarMap", e.Name)
+		}
+		again, err := Canonicalize(c.Query, c.DCs)
+		if err != nil {
+			t.Fatalf("%s: recanonicalize: %v", e.Name, err)
+		}
+		if again.FP != c.FP {
+			t.Fatalf("%s: canonicalization not idempotent", e.Name)
+		}
+	}
+}
+
+// TestFingerprintSymmetricSelfJoin exercises a query with a nontrivial
+// automorphism group (same relation name on every atom), where color
+// refinement alone cannot make the partition discrete and the
+// individualization search must resolve ties consistently.
+func TestFingerprintSymmetricSelfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := MustParse("Q(A,B,C) :- R(A,B), R(B,C), R(C,A)")
+	dcs := Cardinalities(q, 64)
+	c, err := Canonicalize(q, dcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Complete {
+		t.Fatal("canonical search truncated on a 3-variable query")
+	}
+	for trial := 0; trial < 50; trial++ {
+		q2, dcs2 := permutePair(q, dcs, rng)
+		c2, err := Canonicalize(q2, dcs2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.FP != c.FP {
+			t.Fatalf("trial %d: symmetric self-join fingerprint not invariant (%s)", trial, q2)
+		}
+	}
+	// Orienting one atom differently breaks the isomorphism.
+	q3 := MustParse("Q(A,B,C) :- R(A,B), R(B,C), R(A,C)")
+	fp3, err := QueryFingerprint(q3, Cardinalities(q3, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp3 == c.FP {
+		t.Fatal("differently oriented self-join collides")
+	}
+}
+
+// FuzzFingerprint reuses the query parser's corpus shape: any string the
+// parser accepts must fingerprint deterministically, and a random
+// structure-preserving permutation must not change the fingerprint
+// whenever the canonical search completes on both sides.
+func FuzzFingerprint(f *testing.F) {
+	seeds := []string{
+		"Q(A,B,C) :- R(A,B), S(B,C), T(A,C)",
+		"Q() :- R(A,B)",
+		"Q(A) :- R(A,A)",
+		"Q(A,B) :- R(A,B), R(B,A).",
+		"Q(X1, Y_2) :- Edge(X1, Y_2)",
+		"Q(A,B,C) :- R(A,B), R(B,C), R(C,A)",
+		"Q(A,B,C,D) :- R(A,B,C), S(A,B,D), T(A,C,D), U(B,C,D)",
+	}
+	for _, s := range seeds {
+		f.Add(s, int64(1))
+	}
+	f.Fuzz(func(t *testing.T, src string, permSeed int64) {
+		if len(src) > 4096 {
+			return
+		}
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		dcs := Cardinalities(q, 16)
+		c1, err := Canonicalize(q, dcs)
+		if err != nil {
+			t.Fatalf("valid query failed to canonicalize: %v (src %q)", err, src)
+		}
+		c1b, err := Canonicalize(q, dcs)
+		if err != nil || c1b.FP != c1.FP {
+			t.Fatalf("fingerprint not deterministic (src %q)", src)
+		}
+		rng := rand.New(rand.NewSource(permSeed))
+		q2, dcs2 := permutePair(q, dcs, rng)
+		c2, err := Canonicalize(q2, dcs2)
+		if err != nil {
+			t.Fatalf("permuted variant failed to canonicalize: %v (src %q)", err, src)
+		}
+		if c1.Complete && c2.Complete && c1.FP != c2.FP {
+			t.Fatalf("fingerprint not invariant under permutation (src %q, perm of %q)", src, q2)
+		}
+	})
+}

@@ -41,6 +41,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("circuitd: ")
+	// log.Fatal would os.Exit past the engine's deferred Close, leaving
+	// queued requests undrained; run returns an exit code instead.
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		n          = flag.Int("n", 16, "tuples per generated relation")
 		seed       = flag.Int64("seed", 1, "generator seed")
@@ -72,13 +78,16 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 
 	fmt.Printf("\n%s\n", eng.Metrics())
 	if failures > 0 {
-		log.Fatalf("%d request(s) failed", failures)
+		log.Printf("%d request(s) failed", failures)
+		return 1
 	}
+	return 0
 }
 
 // serveLine parses one "query [; constraints]" line, builds its

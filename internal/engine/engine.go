@@ -268,12 +268,19 @@ func (e *Engine) process(ctx context.Context, req Request) (res Result) {
 			e.failed.Add(1)
 		}
 	}()
+	// Defers run LIFO: Recover (below) fills err from a panic in
+	// processInner, then this closure folds it into res. The fold must
+	// be deferred — as a plain statement after the call it would be
+	// skipped when a panic unwinds, returning a zero Result whose nil
+	// Err reads as success.
 	var err error
+	defer func() {
+		if err != nil && res.Err == nil {
+			res.Err = err
+		}
+	}()
 	defer guard.Recover(&err)
 	res = e.processInner(ctx, req)
-	if err != nil && res.Err == nil {
-		res.Err = err
-	}
 	return res
 }
 
@@ -330,47 +337,74 @@ func (e *Engine) processInner(ctx context.Context, req Request) Result {
 
 // plan returns the cached plan for the canonical pair, joining or
 // leading a compile flight on a miss. hit reports a cache hit (no
-// waiting on a compile).
-func (e *Engine) plan(ctx context.Context, canon *query.Canonical) (_ *entry, hit bool, _ error) {
-	e.mu.Lock()
-	if ent := e.cache.get(canon.FP); ent != nil {
+// waiting on a compile). A follower whose leader fails transiently —
+// the *leader's* context was canceled or its budget ran out — does not
+// inherit that failure: it loops back to start or join a fresh flight
+// under its own, still-live context.
+func (e *Engine) plan(ctx context.Context, canon *query.Canonical) (*entry, bool, error) {
+	first := true
+	for {
+		e.mu.Lock()
+		if ent := e.cache.get(canon.FP); ent != nil {
+			e.mu.Unlock()
+			if first {
+				e.hits.Add(1)
+			}
+			return ent, first, nil
+		}
+		if first {
+			first = false
+			e.misses.Add(1)
+		}
+		fl, leader := e.flights.join(canon.FP)
 		e.mu.Unlock()
-		e.hits.Add(1)
-		return ent, true, nil
-	}
-	e.misses.Add(1)
-	fl, leader := e.flights.join(canon.FP)
-	e.mu.Unlock()
 
-	if !leader {
+		if leader {
+			ent, err := e.compile(ctx, canon)
+			e.mu.Lock()
+			if err == nil && !ent.uncached {
+				if n := e.cache.add(ent); n > 0 {
+					e.evictions.Add(int64(n))
+				}
+			}
+			fl.ent, fl.err = ent, err
+			e.flights.leave(canon.FP)
+			e.mu.Unlock()
+			close(fl.done)
+			return ent, false, err
+		}
+
 		select {
 		case <-fl.done:
+			if transientErr(fl.err) {
+				if err := guard.Poll(ctx); err != nil {
+					return nil, false, err
+				}
+				continue
+			}
 			return fl.ent, false, fl.err
 		case <-ctxDone(ctx):
 			// The leader keeps compiling for everyone else.
 			return nil, false, guard.Poll(ctx)
 		}
 	}
-
-	ent, err := e.compile(ctx, canon)
-	e.mu.Lock()
-	if err == nil {
-		if n := e.cache.add(ent); n > 0 {
-			e.evictions.Add(int64(n))
-		}
-	}
-	fl.ent, fl.err = ent, err
-	e.flights.leave(canon.FP)
-	e.mu.Unlock()
-	close(fl.done)
-	return ent, false, err
 }
 
-// compile builds the plan entry for a canonical pair. Deterministic
-// failures (a non-full query, invalid structure, an internal compiler
-// fault) produce a sticky RAM-only entry so the pair is not recompiled;
-// transient failures (cancellation, budget) return an error and leave
-// nothing cached.
+// transientErr reports whether a flight failure is tied to the leader's
+// request (its cancellation or budget) rather than to the query pair.
+func transientErr(err error) bool {
+	return err != nil &&
+		(errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrBudgetExceeded))
+}
+
+// compile builds the plan entry for a canonical pair. Structural
+// failures (a non-full query, invalid input) produce a sticky RAM-only
+// entry so the pair is not recompiled; cancellation and budget
+// exhaustion return an error and leave nothing cached. An internal
+// compiler fault may be a one-off (fault injection, transient resource
+// exhaustion), so it yields an uncached RAM-only entry: this request is
+// still served, and the next one retries the compile instead of being
+// pinned to the slow tier forever.
 func (e *Engine) compile(ctx context.Context, canon *query.Canonical) (*entry, error) {
 	ent := &entry{fp: canon.FP, canon: canon}
 	if !canon.Query.IsFull() {
@@ -392,12 +426,19 @@ func (e *Engine) compile(ctx context.Context, canon *query.Canonical) (*entry, e
 	e.compileLat.observe(time.Since(start))
 	if err != nil {
 		e.compileErrs.Add(1)
-		if errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrBudgetExceeded) {
+		switch {
+		case errors.Is(err, guard.ErrCanceled), errors.Is(err, guard.ErrBudgetExceeded):
 			return nil, err
+		case errors.Is(err, guard.ErrInvalidInput):
+			ent.compileErr = err
+			ent.gates = 1
+			return ent, nil
+		default:
+			ent.compileErr = err
+			ent.gates = 1
+			ent.uncached = true
+			return ent, nil
 		}
-		ent.compileErr = err
-		ent.gates = 1
-		return ent, nil
 	}
 	ent.compiled = compiled
 	ent.gates = int64(compiled.Rel.Size() + compiled.Obliv.C.Size())

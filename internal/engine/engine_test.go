@@ -3,7 +3,9 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
+	"time"
 
 	"circuitql/internal/guard"
 	"circuitql/internal/query"
@@ -270,4 +272,145 @@ func TestEngineServeBatch(t *testing.T) {
 type queryResult struct {
 	name string
 	want *relation.Relation
+}
+
+// TestEngineProcessPanicContained: a panic escaping processInner outside
+// the per-tier recovers (here: Canonicalize dereferencing a nil Query)
+// must surface as a typed error, never as a zero Result whose nil Err
+// reads as success.
+func TestEngineProcessPanicContained(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	res := e.Serve(context.Background(), Request{})
+	if res.Err == nil {
+		t.Fatalf("panic swallowed: got %+v", res)
+	}
+	if !errors.Is(res.Err, guard.ErrInternal) {
+		t.Fatalf("got %v, want ErrInternal", res.Err)
+	}
+	if m := e.Metrics(); m.Failed != 1 {
+		t.Fatalf("failed=%d, want 1", m.Failed)
+	}
+	// The worker that contained the panic keeps serving.
+	q := query.Triangle()
+	db := workload.TriangleDB(workload.TriangleUniform, 1, 8)
+	if r := e.Serve(context.Background(), Request{Query: q, DCs: query.Cardinalities(q, 8), DB: db}); r.Err != nil {
+		t.Fatal(r.Err)
+	}
+}
+
+// flightLeaderSetup registers a fake compile flight for the request's
+// fingerprint (so a real request becomes a follower), starts the request,
+// and blocks until it has joined the flight. The returned resolve
+// function completes the flight the way a leader would.
+func flightLeaderSetup(t *testing.T, e *Engine, req Request) (<-chan Result, func(ent *entry, err error)) {
+	t.Helper()
+	canon, err := query.Canonicalize(req.Query, req.DCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	fl, leader := e.flights.join(canon.FP)
+	e.mu.Unlock()
+	if !leader {
+		t.Fatal("a flight is already in progress")
+	}
+	done := make(chan Result, 1)
+	go func() { done <- e.Serve(context.Background(), req) }()
+	// The follower records its miss and joins the flight under one
+	// critical section, so misses > 0 implies it is waiting on fl.done.
+	for e.misses.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	return done, func(ent *entry, err error) {
+		e.mu.Lock()
+		fl.ent, fl.err = ent, err
+		e.flights.leave(canon.FP)
+		e.mu.Unlock()
+		close(fl.done)
+	}
+}
+
+// TestEngineFollowerOutlivesCanceledLeader: a singleflight follower whose
+// leader fails with the *leader's* cancellation must not inherit it — it
+// retries under its own live context and compiles the plan itself.
+func TestEngineFollowerOutlivesCanceledLeader(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	q := query.MustParse("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+	db := workload.ForQuery(q, 5, 8)
+	req := Request{Query: q, DCs: mustDerive(t, q, db), DB: db}
+	want, err := query.Evaluate(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done, resolve := flightLeaderSetup(t, e, req)
+	resolve(nil, fmt.Errorf("%w: leader request canceled", guard.ErrCanceled))
+
+	res := <-done
+	if res.Err != nil {
+		t.Fatalf("follower inherited the leader's cancellation: %v", res.Err)
+	}
+	if !res.Output.Equal(want) {
+		t.Fatal("follower retry produced a wrong answer")
+	}
+	if m := e.Metrics(); m.Compiles != 1 {
+		t.Fatalf("follower should have recompiled exactly once, compiles=%d", m.Compiles)
+	}
+}
+
+// TestEngineInternalCompileFaultNotSticky: an internal compiler fault
+// serves its own flight from the RAM tier but must not pin the query
+// shape — the next request recompiles and gets the circuit plan.
+func TestEngineInternalCompileFaultNotSticky(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	q := query.MustParse("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+	db := workload.ForQuery(q, 6, 8)
+	req := Request{Query: q, DCs: mustDerive(t, q, db), DB: db}
+	want, err := query.Evaluate(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := query.Canonicalize(req.Query, req.DCs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done, resolve := flightLeaderSetup(t, e, req)
+	// Resolve the flight as compile() does for an ErrInternal fault: an
+	// uncached RAM-only entry.
+	resolve(&entry{
+		fp:         canon.FP,
+		canon:      canon,
+		compileErr: fmt.Errorf("%w: injected compiler fault", guard.ErrInternal),
+		gates:      1,
+		uncached:   true,
+	}, nil)
+
+	res := <-done
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Tier != TierRAM {
+		t.Fatalf("faulted plan served by %q, want ram", res.Tier)
+	}
+	if !res.Output.Equal(want) {
+		t.Fatal("RAM fallback produced a wrong answer")
+	}
+
+	res = e.Serve(context.Background(), req)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.CacheHit {
+		t.Fatal("uncached fault entry leaked into the plan cache")
+	}
+	if res.Tier != TierOblivious {
+		t.Fatalf("retry served by %q, want oblivious (fault must not be sticky)", res.Tier)
+	}
+	if m := e.Metrics(); m.Compiles != 1 {
+		t.Fatalf("retry should have compiled exactly once, compiles=%d", m.Compiles)
+	}
 }

@@ -14,11 +14,14 @@ type entry struct {
 	fp       query.Fingerprint
 	canon    *query.Canonical
 	compiled *core.Compiled // nil when compileErr is set
-	// compileErr is a deterministic, structural compile failure (e.g. a
-	// non-full query, which has no Theorem-4 circuit). The entry then
-	// pins the RAM tier so repeated requests don't recompile a plan
-	// that can never exist.
+	// compileErr routes the entry to the RAM tier. For a structural
+	// failure (e.g. a non-full query, which has no Theorem-4 circuit)
+	// the entry is cached sticky, so repeated requests don't recompile
+	// a plan that can never exist; for an internal compiler fault
+	// (possibly one-off) uncached is also set and the entry serves only
+	// the requests of its own flight — the next request recompiles.
 	compileErr error
+	uncached   bool  // never insert into the plan cache
 	gates      int64 // cost charged against Config.MaxCacheGates
 	wideLevel  int   // widest oblivious circuit level, for routing
 	elem       *list.Element

@@ -2,15 +2,17 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"strings"
 	"sync/atomic"
 	"time"
 )
 
-// latBuckets is the number of power-of-two latency buckets: bucket i
-// holds observations in [2^i, 2^{i+1}) microseconds, with the first and
-// last buckets absorbing the tails (≤ 1µs and ≥ ~35 minutes).
+// latBuckets is the number of power-of-two latency buckets: bucket 0
+// holds sub-microsecond observations and bucket i (i ≥ 1) holds
+// [2^{i-1}, 2^i) microseconds, with the last bucket absorbing the tail
+// (≥ 2^30 µs ≈ 18 minutes).
 const latBuckets = 32
 
 // latencyHist is a lock-free fixed-bucket histogram of durations.
@@ -45,7 +47,9 @@ func (h *latencyHist) snapshot() LatencyHistogram {
 }
 
 // LatencyHistogram is a point-in-time copy of a latency histogram:
-// Counts[i] observations fell in [2^i, 2^{i+1}) microseconds.
+// Counts[0] observations were sub-microsecond, Counts[i] (i ≥ 1)
+// observations fell in [2^{i-1}, 2^i) microseconds, and the last
+// bucket absorbs the tail.
 type LatencyHistogram struct {
 	Counts    [latBuckets]int64
 	Count     int64
@@ -66,7 +70,7 @@ func (h LatencyHistogram) Quantile(q float64) time.Duration {
 	if h.Count == 0 {
 		return 0
 	}
-	rank := int64(q * float64(h.Count))
+	rank := int64(math.Ceil(q * float64(h.Count)))
 	if rank < 1 {
 		rank = 1
 	}
@@ -74,10 +78,10 @@ func (h LatencyHistogram) Quantile(q float64) time.Duration {
 	for i, c := range h.Counts {
 		seen += c
 		if seen >= rank {
-			return time.Duration(1<<uint(i+1)) * time.Microsecond
+			return time.Duration(1<<uint(i)) * time.Microsecond
 		}
 	}
-	return time.Duration(1<<uint(latBuckets)) * time.Microsecond
+	return time.Duration(1<<uint(latBuckets-1)) * time.Microsecond
 }
 
 // String renders the non-empty buckets compactly, e.g.

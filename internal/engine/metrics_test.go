@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyHistogramQuantile pins the bucket geometry: observe() puts
+// a value v in bucket bits.Len64(v), so bucket i covers [2^{i-1}, 2^i)
+// microseconds and Quantile must report 2^i — not 2^{i+1} — as the
+// bucket's upper edge.
+func TestLatencyHistogramQuantile(t *testing.T) {
+	var h latencyHist
+	h.observe(500 * time.Nanosecond) // bucket 0: sub-microsecond
+	h.observe(time.Microsecond)      // bucket 1: [1µs, 2µs)
+	h.observe(3 * time.Microsecond)  // bucket 2: [2µs, 4µs)
+	s := h.snapshot()
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.01, 1 * time.Microsecond},
+		{0.50, 2 * time.Microsecond},
+		{1.00, 4 * time.Microsecond},
+	} {
+		if got := s.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if s.Count != 3 {
+		t.Errorf("Count = %d, want 3", s.Count)
+	}
+}

@@ -1,6 +1,10 @@
 // Command benchtab regenerates every experiment table of EXPERIMENTS.md
 // (E1-E12, the per-figure/per-theorem reproductions listed in DESIGN.md)
 // in one run. Pass -experiment E4 to run a single one.
+//
+// With -bench-parse it instead acts as the CI benchmark comparator: it
+// parses `go test -bench` output, writes a JSON snapshot, and fails on
+// gated regressions against a committed baseline (see compare.go).
 package main
 
 import (
@@ -8,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"strings"
 
 	"circuitql/internal/baseline"
@@ -30,8 +35,19 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtab: ")
-	only := flag.String("experiment", "", "run a single experiment (E1..E12)")
+	var (
+		only       = flag.String("experiment", "", "run a single experiment (E1..E12)")
+		benchParse = flag.String("bench-parse", "", "comparator mode: file of `go test -bench` output to parse ('-' for stdin)")
+		benchOut   = flag.String("bench-out", "", "comparator mode: write the parsed snapshot to this JSON file")
+		benchBase  = flag.String("bench-baseline", "", "comparator mode: baseline JSON to compare against")
+		benchGate  = flag.String("bench-gate", "^BenchmarkEngineCachedVsCold", "comparator mode: regexp of benchmarks whose regression fails the run")
+		benchThr   = flag.Float64("bench-threshold", 25, "comparator mode: regression threshold in percent")
+	)
 	flag.Parse()
+
+	if *benchParse != "" {
+		os.Exit(benchCompare(*benchParse, *benchOut, *benchBase, *benchGate, *benchThr))
+	}
 
 	experiments := []struct {
 		id   string

@@ -22,19 +22,34 @@
 //	Q(Y,Z,X) :- S(Y,Z), T(X,Z), R(X,Y)' | circuitd -n 12
 //
 // compiles once and answers the second line from the cache.
+//
+// With -admin ADDR the daemon also serves an observability surface:
+// /metrics (Prometheus text format; ?format=json for JSON), /healthz,
+// /trace/last (span trees of recent requests; ?n=K), and
+// /debug/pprof/. When -admin is set, stdin EOF leaves the process
+// running for scrapers until SIGINT/SIGTERM:
+//
+//	circuitd -admin :6060 </dev/null &
+//	curl localhost:6060/metrics
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"circuitql"
+	"circuitql/internal/obs"
 	"circuitql/internal/workload"
 )
 
@@ -54,14 +69,45 @@ func run() int {
 		cacheGates = flag.Int64("cache-gates", 0, "plan cache budget in gates (0: default, <0: unlimited)")
 		timeout    = flag.Duration("timeout", 0, "per-request timeout (0: none)")
 		gateBudget = flag.Int64("gate-budget", 0, "per-request gate evaluation budget (0: none)")
+		admin      = flag.String("admin", "", "admin HTTP listen address (e.g. :6060) serving /metrics, /healthz, /trace/last, /debug/pprof/")
+		traceRing  = flag.Int("trace-ring", 64, "recent request span trees kept for /trace/last")
 	)
 	flag.Parse()
 
+	// The admin listener implies per-request tracing: every request's
+	// span tree lands in the ring buffer behind /trace/last and its
+	// stage aggregates behind /metrics.
+	var tracer *obs.Tracer
+	if *admin != "" {
+		tracer = obs.NewTracer(*traceRing)
+	}
 	eng := circuitql.NewEngine(circuitql.EngineConfig{
 		Workers:       *workers,
 		MaxCacheGates: *cacheGates,
+		Tracer:        tracer,
 	})
 	defer eng.Close()
+
+	var adminDone func()
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		reg.Register(func() []obs.Family { return eng.Metrics().Families() })
+		reg.Register(obs.Tiers.Families)
+		reg.Register(obs.TracerFamilies(tracer))
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		srv := &http.Server{Handler: obs.AdminMux(reg, tracer)}
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Print(err)
+			}
+		}()
+		log.Printf("admin listening on http://%s (/metrics /healthz /trace/last /debug/pprof/)", ln.Addr())
+		adminDone = func() { srv.Close() }
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -83,6 +129,15 @@ func run() int {
 	}
 
 	fmt.Printf("\n%s\n", eng.Metrics())
+	// With an admin listener up, stdin EOF does not end the process:
+	// scrapers keep reading /metrics until SIGINT/SIGTERM.
+	if adminDone != nil {
+		log.Print("stdin closed; admin endpoints stay up — interrupt to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		adminDone()
+	}
 	if failures > 0 {
 		log.Printf("%d request(s) failed", failures)
 		return 1

@@ -8,9 +8,15 @@
 //
 // Relations are generated per distinct atom name with n tuples each; for
 // the triangle query the -workload flag selects the data shape.
+//
+// With -trace the run is recorded by the obs tracer and the span tree of
+// each pipeline phase — compile with its lp-solve / proofseq /
+// relcircuit / boolcircuit children, then each evaluation — is printed
+// with wall times and circuit-size counters.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"circuitql"
+	"circuitql/internal/obs"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
 	"circuitql/internal/workload"
@@ -28,14 +35,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("circuitrun: ")
 	var (
-		src  = flag.String("query", "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", "conjunctive query")
-		n    = flag.Int("n", 16, "tuples per relation")
-		seed = flag.Int64("seed", 1, "generator seed")
-		kind = flag.String("workload", "uniform", "uniform | skewed | worstcase (triangle only)")
-		obl  = flag.Bool("oblivious", true, "evaluate the oblivious circuit (false: relational only)")
-		dir  = flag.String("data", "", "directory of <RelationName>.csv files (overrides -workload)")
+		src   = flag.String("query", "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", "conjunctive query")
+		n     = flag.Int("n", 16, "tuples per relation")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		kind  = flag.String("workload", "uniform", "uniform | skewed | worstcase (triangle only)")
+		obl   = flag.Bool("oblivious", true, "evaluate the oblivious circuit (false: relational only)")
+		dir   = flag.String("data", "", "directory of <RelationName>.csv files (overrides -workload)")
+		trace = flag.Bool("trace", false, "print the span tree of the compile and each evaluation")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *trace {
+		tracer = obs.NewTracer(0)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 
 	q, err := circuitql.ParseQuery(*src)
 	if err != nil {
@@ -79,7 +94,7 @@ func main() {
 	}
 
 	start := time.Now()
-	cq, err := circuitql.Compile(q, dcs)
+	cq, err := circuitql.CompileCtx(ctx, q, dcs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +108,7 @@ func main() {
 	}
 
 	start = time.Now()
-	rel, err := cq.EvaluateRelational(db, true)
+	rel, err := cq.EvaluateRelationalCtx(ctx, db, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -104,7 +119,7 @@ func main() {
 
 	if *obl {
 		start = time.Now()
-		out, err := cq.Evaluate(db)
+		out, err := cq.EvaluateCtx(ctx, db)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -114,4 +129,12 @@ func main() {
 		}
 	}
 	fmt.Printf("verified against reference evaluation ✓ (|Q(D)| = %d)\n", want.Len())
+
+	if tracer != nil {
+		fmt.Printf("\ntrace (%d spans, oldest first):\n", len(tracer.Last(0)))
+		roots := tracer.Last(0)
+		for i := len(roots) - 1; i >= 0; i-- {
+			fmt.Print(obs.Format(roots[i]))
+		}
+	}
 }

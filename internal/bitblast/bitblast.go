@@ -15,9 +15,11 @@
 package bitblast
 
 import (
+	"context"
 	"fmt"
 
 	"circuitql/internal/boolcircuit"
+	"circuitql/internal/obs"
 )
 
 // word is a little-endian vector of bit wires.
@@ -43,6 +45,23 @@ type Result struct {
 // Blast converts the word-level circuit to a pure Boolean circuit at the
 // given bit width (1-64).
 func Blast(src *boolcircuit.Circuit, width int) (*Result, error) {
+	return BlastCtx(context.Background(), src, width)
+}
+
+// BlastCtx is Blast under a context, running the whole expansion inside
+// an obs bitblast span that counts the bit-level gates produced.
+func BlastCtx(ctx context.Context, src *boolcircuit.Circuit, width int) (_ *Result, err error) {
+	_, sp := obs.StartSpan(ctx, obs.StageBitblast)
+	res, err := blast(src, width)
+	if res != nil {
+		sp.AddInt(obs.CounterGates, int64(res.C.Size()))
+	}
+	sp.SetError(err)
+	sp.End()
+	return res, err
+}
+
+func blast(src *boolcircuit.Circuit, width int) (*Result, error) {
 	if width < 1 || width > 64 {
 		return nil, fmt.Errorf("bitblast: width %d out of range [1, 64]", width)
 	}

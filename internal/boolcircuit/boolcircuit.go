@@ -19,6 +19,7 @@ import (
 
 	"circuitql/internal/faultinject"
 	"circuitql/internal/guard"
+	"circuitql/internal/obs"
 )
 
 // Op enumerates gate operations.
@@ -239,8 +240,16 @@ func (c *Circuit) Evaluate(inputs []int64) ([]int64, error) {
 // EvaluateCtx is Evaluate under a context. The gate loop polls ctx every
 // 4096 gates (word gates are nanosecond-scale; finer polling would
 // dominate the work) and, when ctx carries a faultinject.Injector, each
-// gate reports to the word-gate site.
-func (c *Circuit) EvaluateCtx(ctx context.Context, inputs []int64) ([]int64, error) {
+// gate reports to the word-gate site. The pass runs under one obs
+// boolcircuit-eval span counting gates evaluated — per evaluation, not
+// per gate, so the untraced fast path costs one branch per call.
+func (c *Circuit) EvaluateCtx(ctx context.Context, inputs []int64) (_ []int64, err error) {
+	ctx, sp := obs.StartSpan(ctx, obs.StageBoolEval)
+	defer func() {
+		sp.AddInt(obs.CounterGates, int64(len(c.gates)))
+		sp.SetError(err)
+		sp.End()
+	}()
 	if len(inputs) != len(c.inputs) {
 		return nil, fmt.Errorf("boolcircuit: got %d inputs, want %d", len(inputs), len(c.inputs))
 	}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"circuitql/internal/guard"
+	"circuitql/internal/obs"
 )
 
 // EvaluateParallel evaluates the circuit on the given inputs using up to
@@ -37,7 +38,7 @@ func (c *Circuit) EvaluateParallel(inputs []int64, workers int) ([]int64, error)
 // EvaluateParallelCtx is EvaluateParallel under a context: the context
 // is polled at every level barrier, so cancellation and deadlines cut a
 // deep evaluation short between levels.
-func (c *Circuit) EvaluateParallelCtx(ctx context.Context, inputs []int64, workers int) ([]int64, error) {
+func (c *Circuit) EvaluateParallelCtx(ctx context.Context, inputs []int64, workers int) (_ []int64, err error) {
 	if len(inputs) != len(c.inputs) {
 		return nil, fmt.Errorf("boolcircuit: got %d inputs, want %d", len(inputs), len(c.inputs))
 	}
@@ -47,6 +48,13 @@ func (c *Circuit) EvaluateParallelCtx(ctx context.Context, inputs []int64, worke
 	if workers == 1 {
 		return c.EvaluateCtx(ctx, inputs)
 	}
+	ctx, sp := obs.StartSpan(ctx, obs.StageBoolEval)
+	sp.SetTag("parallel", "true")
+	defer func() {
+		sp.AddInt(obs.CounterGates, int64(len(c.gates)))
+		sp.SetError(err)
+		sp.End()
+	}()
 
 	levels := c.levelBuckets()
 	vals := make([]int64, len(c.gates))

@@ -18,6 +18,7 @@ import (
 	"circuitql/internal/boolcircuit"
 	"circuitql/internal/bound"
 	"circuitql/internal/guard"
+	"circuitql/internal/obs"
 	"circuitql/internal/opcircuits"
 	"circuitql/internal/panda"
 	"circuitql/internal/query"
@@ -63,10 +64,18 @@ func CompileOblivious(rc *relcircuit.Circuit) (*ObliviousCircuit, error) {
 // CompileObliviousCtx is CompileOblivious under a context: the lowering
 // loop polls ctx per relational gate and charges the growing word-level
 // gate count against any guard.Budget gate cap, so a tight budget aborts
-// the lowering instead of materialising an enormous circuit.
-func CompileObliviousCtx(ctx context.Context, rc *relcircuit.Circuit) (*ObliviousCircuit, error) {
+// the lowering instead of materialising an enormous circuit. The whole
+// lowering runs under an obs boolcircuit span counting the word gates
+// built.
+func CompileObliviousCtx(ctx context.Context, rc *relcircuit.Circuit) (_ *ObliviousCircuit, err error) {
+	ctx, sp := obs.StartSpan(ctx, obs.StageBoolCirc)
 	budget := guard.FromContext(ctx)
 	c := boolcircuit.New()
+	defer func() {
+		sp.AddInt(obs.CounterGates, int64(c.Size()))
+		sp.SetError(err)
+		sp.End()
+	}()
 	oc := &ObliviousCircuit{C: c}
 	vals := make([]opcircuits.ORel, len(rc.Gates))
 
@@ -241,8 +250,15 @@ func CompileQuery(q *query.Query, dcs query.DCSet) (*Compiled, error) {
 
 // CompileQueryCtx is CompileQuery under a context: both the PANDA-C
 // compilation and the oblivious lowering poll ctx and respect any
-// guard.Budget it carries.
-func CompileQueryCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (*Compiled, error) {
+// guard.Budget it carries. The pipeline runs under an obs compile span
+// whose children are the lp-solve, proofseq, relcircuit, and
+// boolcircuit stages.
+func CompileQueryCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (_ *Compiled, err error) {
+	ctx, sp := obs.StartSpan(ctx, obs.StageCompile)
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	res, err := panda.CompileFCQCtx(ctx, q, dcs)
 	if err != nil {
 		return nil, err
@@ -251,6 +267,8 @@ func CompileQueryCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (*Com
 	if err != nil {
 		return nil, err
 	}
+	sp.AddInt(obs.CounterRelGates, int64(res.Circuit.Size()))
+	sp.AddInt(obs.CounterGates, int64(obl.C.Size()))
 	return &Compiled{
 		Query:     q,
 		DC:        dcs,

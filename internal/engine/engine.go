@@ -32,6 +32,7 @@ import (
 
 	"circuitql/internal/core"
 	"circuitql/internal/guard"
+	"circuitql/internal/obs"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
 )
@@ -66,6 +67,11 @@ type Config struct {
 	// EvalWorkers is the goroutine count for one parallel evaluation.
 	// 0 selects GOMAXPROCS.
 	EvalWorkers int
+	// Tracer, when set, records a span tree per request (serve →
+	// compile stages → tier attempts) into its ring buffer and
+	// per-stage aggregates. nil disables tracing; the hot paths then
+	// pay a single branch per stage.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -260,6 +266,25 @@ func (e *Engine) Metrics() Metrics {
 // validate the database, evaluate through the tiers, and rename the
 // output back to the request's variable names.
 func (e *Engine) process(ctx context.Context, req Request) (res Result) {
+	// The serve span is declared first so its defer runs last, after the
+	// panic-recovery defers below have folded any failure into res.Err.
+	if e.cfg.Tracer != nil && obs.SpanFromContext(ctx) == nil {
+		ctx = obs.WithTracer(ctx, e.cfg.Tracer)
+	}
+	ctx, sp := obs.StartSpan(ctx, obs.StageServe)
+	defer func() {
+		sp.SetTag("fingerprint", res.Fingerprint.Short())
+		if res.CacheHit {
+			sp.SetTag("cache", "hit")
+		} else {
+			sp.SetTag("cache", "miss")
+		}
+		if res.Tier != "" {
+			sp.SetTag("tier", res.Tier)
+		}
+		sp.SetError(res.Err)
+		sp.End()
+	}()
 	e.requests.Add(1)
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
@@ -460,20 +485,20 @@ func (e *Engine) compile(ctx context.Context, canon *query.Canonical) (*entry, e
 func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request) (*relation.Relation, string, []TierAttempt, error) {
 	type tier struct {
 		name string
-		run  func() (*relation.Relation, error)
+		run  func(ctx context.Context) (*relation.Relation, error)
 	}
 	var tiers []tier
 	var attempts []TierAttempt
 	if ent.compiled != nil {
 		tiers = append(tiers,
-			tier{TierOblivious, func() (out *relation.Relation, err error) {
+			tier{TierOblivious, func(ctx context.Context) (out *relation.Relation, err error) {
 				defer guard.Recover(&err)
 				if e.cfg.WideLevelThreshold > 0 && ent.wideLevel >= e.cfg.WideLevelThreshold {
 					return ent.compiled.EvaluateObliviousParallelCtx(ctx, req.DB, e.cfg.EvalWorkers)
 				}
 				return ent.compiled.EvaluateObliviousCtx(ctx, req.DB)
 			}},
-			tier{TierRelational, func() (out *relation.Relation, err error) {
+			tier{TierRelational, func(ctx context.Context) (out *relation.Relation, err error) {
 				defer guard.Recover(&err)
 				return ent.compiled.EvaluateRelationalCtx(ctx, req.DB, false)
 			}},
@@ -481,15 +506,23 @@ func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request) (*relati
 	} else {
 		attempts = append(attempts, TierAttempt{Tier: TierOblivious, Err: ent.compileErr})
 	}
-	tiers = append(tiers, tier{TierRAM, func() (out *relation.Relation, err error) {
+	tiers = append(tiers, tier{TierRAM, func(ctx context.Context) (out *relation.Relation, err error) {
 		defer guard.Recover(&err)
 		return query.EvaluateCtx(ctx, req.Query, req.DB)
 	}})
 
 	for _, t := range tiers {
-		out, err := t.run()
+		tierCtx, sp := obs.StartSpan(ctx, obs.StageTier+t.name)
+		obs.Tiers.Attempt(t.name)
+		out, err := t.run(tierCtx)
+		if err == nil && out != nil {
+			sp.AddInt(obs.CounterRows, int64(out.Len()))
+		}
+		sp.SetError(err)
+		sp.End()
 		attempts = append(attempts, TierAttempt{Tier: t.name, Err: err})
 		if err == nil {
+			obs.Tiers.Serve(t.name, len(attempts) > 1)
 			return out, t.name, attempts, nil
 		}
 		if ctx != nil && ctx.Err() != nil {

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"circuitql/internal/obs"
+	"circuitql/internal/query"
+	"circuitql/internal/workload"
+)
+
+// TestEngineConcurrentServeSpanTrees hammers Serve from many goroutines
+// with a tracer attached and checks that every recorded span tree is
+// well formed and private to its request: one "serve" root per request,
+// every node reachable from exactly one root, and valid stage names
+// throughout. Run under -race this doubles as the data-race check on
+// the span plumbing.
+func TestEngineConcurrentServeSpanTrees(t *testing.T) {
+	tracer := obs.NewTracer(256)
+	e := New(Config{Tracer: tracer})
+	defer e.Close()
+
+	queries := []*query.Query{
+		query.MustParse("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"),
+		query.MustParse("Q(A,B,C) :- R(A,B), S(B,C)"),
+		query.MustParse("Q(A,B) :- R(A,B), S(A,B)"),
+	}
+	reqs := make([]Request, len(queries))
+	for i, q := range queries {
+		db := workload.ForQuery(q, int64(i+1), 8)
+		reqs[i] = Request{Query: q, DCs: mustDerive(t, q, db), DB: db}
+	}
+
+	const goroutines, perG = 8, 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				req := reqs[(g+i)%len(reqs)]
+				if res := e.Serve(context.Background(), req); res.Err != nil {
+					t.Errorf("serve: %v", res.Err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	roots := tracer.Last(0)
+	if want := goroutines * perG; len(roots) != want {
+		t.Fatalf("recorded %d root spans, want %d (one per request)", len(roots), want)
+	}
+
+	validStage := func(name string) bool {
+		switch name {
+		case obs.StageServe, obs.StageCompile, obs.StageLPSolve, obs.StageProofSeq,
+			obs.StageRelCirc, obs.StageBoolCirc, obs.StageBitblast,
+			obs.StageRelEval, obs.StageBoolEval:
+			return true
+		}
+		return strings.HasPrefix(name, obs.StageTier)
+	}
+
+	seen := make(map[*obs.Span]bool)
+	var walk func(root, s *obs.Span)
+	walk = func(root, s *obs.Span) {
+		if seen[s] {
+			t.Fatalf("span %q appears in more than one tree — trees interleaved", s.Name)
+		}
+		seen[s] = true
+		if !validStage(s.Name) {
+			t.Fatalf("unknown stage name %q in tree of %q", s.Name, root.Name)
+		}
+		for _, c := range s.Children() {
+			walk(root, c)
+		}
+	}
+	for _, root := range roots {
+		if root.Name != obs.StageServe {
+			t.Fatalf("root span named %q, want %q", root.Name, obs.StageServe)
+		}
+		if root.Duration() <= 0 {
+			t.Fatalf("root span has non-positive duration %v", root.Duration())
+		}
+		tiers := 0
+		cache := ""
+		for _, a := range root.Attrs() {
+			if a.Key == "cache" {
+				cache = a.Str
+			}
+		}
+		if cache != "hit" && cache != "miss" {
+			t.Fatalf("serve span cache tag = %q, want hit or miss", cache)
+		}
+		for _, c := range root.Children() {
+			if strings.HasPrefix(c.Name, obs.StageTier) {
+				tiers++
+			}
+		}
+		if tiers == 0 {
+			t.Fatal("serve span recorded no tier attempt child")
+		}
+		walk(root, root)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math/big"
 
 	"circuitql/internal/guard"
+	"circuitql/internal/obs"
 )
 
 // Sense selects the optimization direction.
@@ -177,10 +178,20 @@ func (p *Problem) Solve() (*Solution, error) {
 // single large exact-rational pivot promptly) and charges every pivot
 // against the guard.Budget attached to ctx, if any. Interruptions
 // surface as guard.ErrCanceled or guard.ErrBudgetExceeded.
+//
+// Observability: each solve accumulates lp_solves/lp_pivots onto the
+// enclosing obs span, so a compile's lp-solve stage reports how many
+// exact LPs it ran and how much pivoting they cost.
 func (p *Problem) SolveCtx(ctx context.Context) (*Solution, error) {
 	t, err := newTableau(ctx, p)
 	if err != nil {
 		return nil, err
+	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		defer func() {
+			sp.AddInt(obs.CounterSolves, 1)
+			sp.AddInt(obs.CounterPivots, t.pivots)
+		}()
 	}
 	feasible, err := t.phase1()
 	if err != nil {
@@ -221,6 +232,7 @@ type tableau struct {
 
 	ctx    context.Context
 	budget *guard.Budget
+	pivots int64
 }
 
 func newTableau(ctx context.Context, p *Problem) (*tableau, error) {
@@ -433,6 +445,7 @@ func (t *tableau) iterate() (Status, error) {
 		if err := t.pivot(leave, enter); err != nil {
 			return Optimal, err
 		}
+		t.pivots++
 	}
 }
 

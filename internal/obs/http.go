@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// AdminMux builds the admin HTTP surface of a serving process:
+//
+//	/metrics          Prometheus text format (?format=json for JSON)
+//	/healthz          liveness probe (200 "ok")
+//	/trace/last       recent root span trees, most recent first (?n=K)
+//	/debug/pprof/*    the standard Go profiling endpoints
+//
+// tracer may be nil (then /trace/last reports that tracing is off).
+func AdminMux(reg *Registry, tracer *Tracer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := reg.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace/last", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if tracer == nil {
+			fmt.Fprintln(w, "tracing disabled")
+			return
+		}
+		n := 1
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		roots := tracer.Last(n)
+		if len(roots) == 0 {
+			fmt.Fprintln(w, "no traces recorded yet")
+			return
+		}
+		for i, root := range roots {
+			if i > 0 {
+				fmt.Fprintln(w)
+			}
+			fmt.Fprint(w, Format(root))
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

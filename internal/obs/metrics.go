@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MetricType distinguishes Prometheus family types.
+type MetricType int
+
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// HistBucket is one cumulative histogram bucket: the count of
+// observations ≤ UpperBound (seconds for latency histograms).
+type HistBucket struct {
+	UpperBound float64 // +Inf allowed
+	Count      int64   // cumulative
+}
+
+// Sample is one time series of a family: a label set and either a
+// scalar value (counter/gauge) or a bucketed distribution (histogram).
+type Sample struct {
+	Labels  []Label
+	Value   float64
+	Buckets []HistBucket // histograms only, cumulative, sorted by bound
+	Sum     float64      // histograms only
+	Count   int64        // histograms only
+}
+
+// Family is one named metric with help text and samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    MetricType
+	Samples []Sample
+}
+
+// Registry aggregates metric sources for exposition. Sources are
+// callbacks so every scrape sees a fresh snapshot. Safe for concurrent
+// use.
+type Registry struct {
+	mu      sync.Mutex
+	sources []func() []Family
+	start   time.Time
+}
+
+// NewRegistry returns an empty registry (uptime measured from now).
+func NewRegistry() *Registry {
+	return &Registry{start: time.Now()}
+}
+
+// Register adds a metric source; each scrape calls it for fresh
+// families.
+func (r *Registry) Register(source func() []Family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources = append(r.sources, source)
+}
+
+// Gather collects every source's families, merges same-name families,
+// and returns them sorted by name.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	sources := make([]func() []Family, len(r.sources))
+	copy(sources, r.sources)
+	uptime := time.Since(r.start)
+	r.mu.Unlock()
+
+	byName := make(map[string]*Family)
+	var order []string
+	add := func(f Family) {
+		if g, ok := byName[f.Name]; ok {
+			g.Samples = append(g.Samples, f.Samples...)
+			return
+		}
+		cp := f
+		byName[f.Name] = &cp
+		order = append(order, f.Name)
+	}
+	add(Family{
+		Name: "circuitql_uptime_seconds", Help: "Seconds since the metrics registry was created.",
+		Type: TypeGauge, Samples: []Sample{{Value: uptime.Seconds()}},
+	})
+	for _, src := range sources {
+		for _, f := range src() {
+			add(f)
+		}
+	}
+	sort.Strings(order)
+	out := make([]Family, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Gather() {
+		if err := writeFamily(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders every family as a JSON array (the same data the
+// Prometheus endpoint exposes, for tooling without a Prometheus
+// parser).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	type jsonSample struct {
+		Labels  map[string]string `json:"labels,omitempty"`
+		Value   *float64          `json:"value,omitempty"`
+		Buckets map[string]int64  `json:"buckets,omitempty"`
+		Sum     *float64          `json:"sum,omitempty"`
+		Count   *int64            `json:"count,omitempty"`
+	}
+	type jsonFamily struct {
+		Name    string       `json:"name"`
+		Help    string       `json:"help,omitempty"`
+		Type    string       `json:"type"`
+		Samples []jsonSample `json:"samples"`
+	}
+	var out []jsonFamily
+	for _, f := range r.Gather() {
+		jf := jsonFamily{Name: f.Name, Help: f.Help, Type: f.Type.String()}
+		for _, s := range f.Samples {
+			js := jsonSample{}
+			if len(s.Labels) > 0 {
+				js.Labels = make(map[string]string, len(s.Labels))
+				for _, l := range s.Labels {
+					js.Labels[l.Name] = l.Value
+				}
+			}
+			if f.Type == TypeHistogram {
+				js.Buckets = make(map[string]int64, len(s.Buckets))
+				for _, b := range s.Buckets {
+					js.Buckets[formatFloat(b.UpperBound)] = b.Count
+				}
+				sum, count := s.Sum, s.Count
+				js.Sum, js.Count = &sum, &count
+			} else {
+				v := s.Value
+				js.Value = &v
+			}
+			jf.Samples = append(jf.Samples, js)
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func writeFamily(w io.Writer, f Family) error {
+	if f.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+		return err
+	}
+	for _, s := range f.Samples {
+		if f.Type == TypeHistogram {
+			if err := writeHistogram(w, f.Name, s); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, renderLabels(s.Labels, "", 0), formatFloat(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s Sample) error {
+	cum := int64(0)
+	sawInf := false
+	for _, b := range s.Buckets {
+		cum = b.Count
+		if math.IsInf(b.UpperBound, +1) {
+			sawInf = true
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, renderLabels(s.Labels, "le", b.UpperBound), b.Count); err != nil {
+			return err
+		}
+	}
+	if !sawInf {
+		if cum < s.Count {
+			cum = s.Count
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, renderLabels(s.Labels, "le", math.Inf(+1)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(s.Labels, "", 0), formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.Labels, "", 0), s.Count)
+	return err
+}
+
+// renderLabels renders a label set, optionally with a trailing le label
+// (leName non-empty), as {a="b",le="0.001"}; empty sets render as "".
+func renderLabels(labels []Label, leName string, le float64) string {
+	if len(labels) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, escapeLabel(l.Value))
+	}
+	if leName != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", leName, formatFloat(le))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.9f", v), "0"), ".")
+}
+
+func escapeLabel(s string) string {
+	// %q already escapes backslash, quote, and newline per the format.
+	return s
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// TracerFamilies adapts a tracer's per-stage aggregates into metric
+// families; register the result on a Registry:
+//
+//	reg.Register(obs.TracerFamilies(tracer))
+func TracerFamilies(t *Tracer) func() []Family {
+	return func() []Family {
+		agg := t.Aggregates()
+		stages := make([]string, 0, len(agg))
+		for name := range agg {
+			stages = append(stages, name)
+		}
+		sort.Strings(stages)
+
+		count := Family{Name: "circuitql_stage_total", Help: "Completed pipeline-stage spans by stage name.", Type: TypeCounter}
+		dur := Family{Name: "circuitql_stage_duration_seconds_total", Help: "Wall time accumulated per pipeline stage.", Type: TypeCounter}
+		errs := Family{Name: "circuitql_stage_errors_total", Help: "Stage spans that ended with an error tag.", Type: TypeCounter}
+		counters := Family{Name: "circuitql_stage_counter_total", Help: "Integer span counters (gates, rows, pivots, ...) summed per stage.", Type: TypeCounter}
+		for _, name := range stages {
+			a := agg[name]
+			lbl := []Label{{"stage", name}}
+			count.Samples = append(count.Samples, Sample{Labels: lbl, Value: float64(a.Count)})
+			dur.Samples = append(dur.Samples, Sample{Labels: lbl, Value: a.TotalDur.Seconds()})
+			if a.Errors > 0 {
+				errs.Samples = append(errs.Samples, Sample{Labels: lbl, Value: float64(a.Errors)})
+			}
+			keys := make([]string, 0, len(a.Counters))
+			for k := range a.Counters {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				counters.Samples = append(counters.Samples, Sample{
+					Labels: []Label{{"stage", name}, {"counter", k}},
+					Value:  float64(a.Counters[k]),
+				})
+			}
+		}
+		return []Family{count, dur, errs, counters}
+	}
+}

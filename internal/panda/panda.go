@@ -36,6 +36,7 @@ import (
 
 	"circuitql/internal/bound"
 	rguard "circuitql/internal/guard"
+	"circuitql/internal/obs"
 	"circuitql/internal/proofseq"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
@@ -150,14 +151,31 @@ func CompileIntoCtx(ctx context.Context, c *relcircuit.Circuit, inputs map[int]i
 	if err := dcs.Validate(q); err != nil {
 		return nil, rguard.Invalidf("%v", err)
 	}
-	res, err := bound.LogBoundCtx(ctx, q, dcs, target)
+	// Stage 1: the Shannon-flow bound — exact LPs whose dual witness
+	// seeds the proof-sequence search. Solves/pivots accumulate onto the
+	// lp-solve span (see lp.SolveCtx).
+	lpCtx, lpSpan := obs.StartSpan(ctx, obs.StageLPSolve)
+	res, err := bound.LogBoundCtx(lpCtx, q, dcs, target)
+	lpSpan.SetError(err)
+	lpSpan.End()
 	if err != nil {
 		return nil, err
 	}
+	// Stage 2: proof-sequence search (spans itself).
 	seq, delta, err := proofseq.BuildCtx(ctx, q, res)
 	if err != nil {
 		return nil, err
 	}
+
+	// Stage 3: relational-circuit emission. Truncation-path restarts
+	// re-derive bounds and sequences, so nested lp-solve/proofseq spans
+	// may appear under this one.
+	ctx, emitSpan := obs.StartSpan(ctx, obs.StageRelCirc)
+	gatesBefore := c.Size()
+	defer func() {
+		emitSpan.AddInt(obs.CounterRelGates, int64(c.Size()-gatesBefore))
+		emitSpan.End()
+	}()
 
 	if inputs == nil {
 		inputs = BuildInputs(c, q, dcs)
@@ -190,8 +208,10 @@ func CompileIntoCtx(ctx context.Context, c *relcircuit.Circuit, inputs map[int]i
 
 	raw, err := co.compile(terms, seq, registry, 0)
 	if err != nil {
+		emitSpan.SetError(err)
 		return nil, err
 	}
+	emitSpan.AddInt(obs.CounterRestarts, int64(co.restarts))
 	out := co.cleanup(raw)
 	return &CompileResult{
 		Circuit:   co.c,
@@ -627,7 +647,10 @@ func (co *compiler) restart(terms []term, registry []guard, depth int) (int, err
 
 	entry, ok := co.restartCache[cacheKey]
 	if !ok {
-		res, err := bound.LogBoundRawCtx(co.ctx, co.q, dcs, co.target)
+		lpCtx, lpSpan := obs.StartSpan(co.ctx, obs.StageLPSolve)
+		res, err := bound.LogBoundRawCtx(lpCtx, co.q, dcs, co.target)
+		lpSpan.SetError(err)
+		lpSpan.End()
 		if err != nil {
 			return 0, fmt.Errorf("panda: truncation re-derivation: %w", err)
 		}

@@ -9,6 +9,7 @@ import (
 
 	"circuitql/internal/bound"
 	"circuitql/internal/guard"
+	"circuitql/internal/obs"
 	"circuitql/internal/query"
 )
 
@@ -30,8 +31,15 @@ func Build(q *query.Query, res *bound.Result) (Sequence, Vec, error) {
 
 // BuildCtx is Build under a context: the bounded search polls ctx at
 // every expanded state, so cancellation and deadlines interrupt even
-// adversarial witnesses whose search space blows up.
-func BuildCtx(ctx context.Context, q *query.Query, res *bound.Result) (Sequence, Vec, error) {
+// adversarial witnesses whose search space blows up. Each build runs
+// under an obs proofseq span carrying the step count and the number of
+// search states expanded.
+func BuildCtx(ctx context.Context, q *query.Query, res *bound.Result) (_ Sequence, _ Vec, err error) {
+	ctx, sp := obs.StartSpan(ctx, obs.StageProofSeq)
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	delta := InitialDelta(res)
 	lambda := Lambda(res.Target)
 
@@ -73,6 +81,8 @@ func BuildCtx(ctx context.Context, q *query.Query, res *bound.Result) (Sequence,
 			if err := Verify(delta, lambda, b.seq); err != nil {
 				return nil, nil, fmt.Errorf("proofseq: internal: built sequence fails verification: %w", err)
 			}
+			sp.AddInt(obs.CounterSteps, int64(len(b.seq)))
+			sp.AddInt("search_states", int64(len(b.visited)))
 			return b.seq, delta, nil
 		}
 		lastStates = len(b.visited)

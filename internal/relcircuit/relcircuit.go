@@ -20,6 +20,7 @@ import (
 	"circuitql/internal/expr"
 	"circuitql/internal/faultinject"
 	"circuitql/internal/guard"
+	"circuitql/internal/obs"
 	"circuitql/internal/relation"
 )
 
@@ -437,8 +438,19 @@ func (c *Circuit) Evaluate(db map[string]*relation.Relation, check bool) (map[in
 
 // EvaluateCtx is Evaluate under a context: the gate loop polls ctx,
 // charges each materialised wire against any guard.Budget row cap, and
-// reports each gate to any faultinject.Injector carried by ctx.
-func (c *Circuit) EvaluateCtx(ctx context.Context, db map[string]*relation.Relation, check bool) (map[int]*relation.Relation, error) {
+// reports each gate to any faultinject.Injector carried by ctx. The
+// whole pass runs under one obs relcircuit-eval span counting gates
+// evaluated and rows materialized (the spans are per evaluation, never
+// per gate, so tracing costs nothing on the gate loop).
+func (c *Circuit) EvaluateCtx(ctx context.Context, db map[string]*relation.Relation, check bool) (_ map[int]*relation.Relation, err error) {
+	ctx, sp := obs.StartSpan(ctx, obs.StageRelEval)
+	rows := int64(0)
+	defer func() {
+		sp.AddInt(obs.CounterRelGates, int64(len(c.Gates)))
+		sp.AddInt(obs.CounterRows, rows)
+		sp.SetError(err)
+		sp.End()
+	}()
 	budget := guard.FromContext(ctx)
 	inj := faultinject.FromContext(ctx)
 	vals := make([]*relation.Relation, len(c.Gates))
@@ -504,6 +516,7 @@ func (c *Circuit) EvaluateCtx(ctx context.Context, db map[string]*relation.Relat
 				return nil, err
 			}
 		}
+		rows += int64(out.Len())
 		vals[i] = out
 	}
 	res := make(map[int]*relation.Relation, len(c.Outputs))

@@ -21,6 +21,7 @@ import (
 	"circuitql/internal/expr"
 	"circuitql/internal/ghd"
 	"circuitql/internal/guard"
+	"circuitql/internal/obs"
 	"circuitql/internal/panda"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
@@ -120,8 +121,15 @@ func NewPlan(q *query.Query, dcs query.DCSet) (*Plan, error) {
 }
 
 // NewPlanCtx is NewPlan under a context: the width search (and its exact
-// LPs) polls ctx and respects any guard.Budget it carries.
-func NewPlanCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (*Plan, error) {
+// LPs) polls ctx and respects any guard.Budget it carries. The search
+// runs under an obs yannakakis-plan span (its LP solves accumulate
+// there).
+func NewPlanCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (_ *Plan, err error) {
+	ctx, sp := obs.StartSpan(ctx, obs.StageYanPlan)
+	defer func() {
+		sp.SetError(err)
+		sp.End()
+	}()
 	if err := q.Validate(); err != nil {
 		return nil, guard.Invalidf("%v", err)
 	}
@@ -421,9 +429,17 @@ func (p *Plan) CompileCount() (*CountCircuit, error) {
 	return p.CompileCountCtx(context.Background())
 }
 
-// CompileCountCtx is CompileCount under a context (see NewPlanCtx).
-func (p *Plan) CompileCountCtx(ctx context.Context) (*CountCircuit, error) {
+// CompileCountCtx is CompileCount under a context (see NewPlanCtx). The
+// per-bag PANDA-C compilations and the fold both run under an obs
+// yannakakis-count span counting the relational gates built.
+func (p *Plan) CompileCountCtx(ctx context.Context) (_ *CountCircuit, err error) {
+	ctx, sp := obs.StartSpan(ctx, obs.StageYanCount)
 	c := relcircuit.New()
+	defer func() {
+		sp.AddInt(obs.CounterRelGates, int64(c.Size()))
+		sp.SetError(err)
+		sp.End()
+	}()
 	nodes, err := p.buildBags(ctx, c)
 	if err != nil {
 		return nil, err

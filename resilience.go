@@ -24,6 +24,7 @@ import (
 	"circuitql/internal/core"
 	"circuitql/internal/ghd"
 	"circuitql/internal/guard"
+	"circuitql/internal/obs"
 	"circuitql/internal/query"
 	"circuitql/internal/yannakakis"
 )
@@ -227,6 +228,11 @@ func (r *TierReport) String() string {
 // records every attempt. When the context itself is dead (canceled or
 // past its deadline) later tiers are skipped — they would fail the
 // same way — and the first error is returned.
+//
+// Every attempt and serve is also recorded on the process-wide tier
+// ledger (and, when ctx carries an obs tracer, as a tier/<name> span),
+// so the /metrics tier counters agree with the returned TierReport no
+// matter whether a request went through an Engine or this facade path.
 func (c *CompiledQuery) EvaluateResilient(ctx context.Context, db Database) (*Relation, *TierReport, error) {
 	report := &TierReport{}
 	if err := func() (err error) {
@@ -237,25 +243,33 @@ func (c *CompiledQuery) EvaluateResilient(ctx context.Context, db Database) (*Re
 	}
 	tiers := []struct {
 		name string
-		run  func() (*Relation, error)
+		run  func(ctx context.Context) (*Relation, error)
 	}{
-		{TierOblivious, func() (out *Relation, err error) {
+		{TierOblivious, func(ctx context.Context) (out *Relation, err error) {
 			defer guard.Recover(&err)
 			return c.inner.EvaluateObliviousCtx(ctx, db)
 		}},
-		{TierRelational, func() (out *Relation, err error) {
+		{TierRelational, func(ctx context.Context) (out *Relation, err error) {
 			defer guard.Recover(&err)
 			return c.inner.EvaluateRelationalCtx(ctx, db, false)
 		}},
-		{TierRAM, func() (out *Relation, err error) {
+		{TierRAM, func(ctx context.Context) (out *Relation, err error) {
 			defer guard.Recover(&err)
 			return query.EvaluateCtx(ctx, c.inner.Query, db)
 		}},
 	}
-	for _, t := range tiers {
-		out, err := t.run()
+	for i, t := range tiers {
+		tierCtx, sp := obs.StartSpan(ctx, obs.StageTier+t.name)
+		obs.Tiers.Attempt(t.name)
+		out, err := t.run(tierCtx)
+		if err == nil && out != nil {
+			sp.AddInt(obs.CounterRows, int64(out.Len()))
+		}
+		sp.SetError(err)
+		sp.End()
 		report.Attempts = append(report.Attempts, TierAttempt{Tier: t.name, Err: err})
 		if err == nil {
+			obs.Tiers.Serve(t.name, i > 0)
 			report.Served = t.name
 			return out, report, nil
 		}

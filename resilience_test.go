@@ -8,6 +8,7 @@ import (
 
 	"circuitql/internal/faultinject"
 	"circuitql/internal/guard"
+	"circuitql/internal/obs"
 	"circuitql/internal/workload"
 )
 
@@ -153,6 +154,47 @@ func TestEvaluateResilientDegradesToRelational(t *testing.T) {
 	}
 	if !out.Equal(want) {
 		t.Fatal("relational tier result differs from reference")
+	}
+}
+
+// A forced oblivious-tier fault must be visible on the process-wide
+// tier ledger exactly as the TierReport records it: one relational
+// serve, one relational fallback — not zero (the pre-fix facade bug:
+// only the engine path recorded tiers) and not two.
+func TestEvaluateResilientRecordsTierLedger(t *testing.T) {
+	_, _, db, cq := triangleSetup(t)
+	in := faultinject.New()
+	in.FailAt(faultinject.SiteWordGate, 1, nil)
+	ctx := faultinject.WithInjector(context.Background(), in)
+
+	before := obs.Tiers.Snapshot()
+	_, report, err := cq.EvaluateResilient(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Served != TierRelational {
+		t.Fatalf("served = %q, want %q", report.Served, TierRelational)
+	}
+	after := obs.Tiers.Snapshot()
+
+	// Snapshot order is degradation order: oblivious, relational, ram.
+	obl, rel, ram := 0, 1, 2
+	deltas := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"oblivious attempts", after[obl].Attempts - before[obl].Attempts, 1},
+		{"oblivious serves", after[obl].Serves - before[obl].Serves, 0},
+		{"relational attempts", after[rel].Attempts - before[rel].Attempts, 1},
+		{"relational serves", after[rel].Serves - before[rel].Serves, 1},
+		{"relational fallbacks", after[rel].Fallbacks - before[rel].Fallbacks, 1},
+		{"ram attempts", after[ram].Attempts - before[ram].Attempts, 0},
+	}
+	for _, d := range deltas {
+		if d.got != d.want {
+			t.Errorf("%s delta = %d, want %d", d.name, d.got, d.want)
+		}
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"circuitql/internal/bitblast"
 	"circuitql/internal/core"
 	"circuitql/internal/guard"
+	"circuitql/internal/opt"
 	"circuitql/internal/panda"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
@@ -96,10 +97,34 @@ type CompiledQuery struct {
 }
 
 // Compile builds the PANDA-C relational circuit and its oblivious
-// lowering for a full CQ under the given constraints.
+// lowering for a full CQ under the given constraints, then runs the
+// internal/opt optimizer passes (CSE, constant/empty propagation,
+// dead-gate elimination, level recompaction) over both layers.
 func Compile(q *Query, dcs DCSet) (*CompiledQuery, error) {
 	return CompileCtx(context.Background(), q, dcs)
 }
+
+// CompileOptions tunes the compile pipeline; the zero value enables the
+// optimizer. NoOpt emits the paper's constructions verbatim.
+type CompileOptions = core.CompileOptions
+
+// OptReport is the optimizer's before/after size accounting for one
+// compile.
+type OptReport = opt.Report
+
+// CompileOpts is Compile with explicit pipeline options under a context.
+func CompileOpts(ctx context.Context, q *Query, dcs DCSet, opts CompileOptions) (cq *CompiledQuery, err error) {
+	defer guard.Recover(&err)
+	inner, err := core.CompileQueryOptsCtx(ctx, q, dcs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledQuery{inner: inner}, nil
+}
+
+// OptimizerReport returns the optimizer's before/after sizes, or nil
+// when compilation ran with NoOpt.
+func (c *CompiledQuery) OptimizerReport() *OptReport { return c.inner.Opt }
 
 // Evaluate runs the oblivious circuit on db and returns Q(D). The same
 // CompiledQuery evaluates any database conforming to the constraints it

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	circuitc -query 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)' -n 64 [-gates] [-no-oblivious]
+//	circuitc -query 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)' -n 64 [-gates] [-no-oblivious] [-no-opt]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 
 	"circuitql"
 	"circuitql/internal/core"
+	"circuitql/internal/opt"
 	"circuitql/internal/panda"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		noObliv   = flag.Bool("no-oblivious", false, "skip the oblivious lowering (fast)")
 		widthsToo = flag.Bool("widths", false, "also print fhtw / da-fhtw / da-subw")
 		dcSrc     = flag.String("dc", "", "extra degree constraints, e.g. 'S|B <= 4; R|A <= 1'")
+		noOpt     = flag.Bool("no-opt", false, "skip the optimizer passes (print the constructions' raw sizes)")
 		dotPath   = flag.String("dot", "", "write the relational circuit as Graphviz DOT to this file")
 		savePath  = flag.String("save", "", "write the oblivious circuit artifact to this file")
 	)
@@ -65,6 +67,15 @@ func main() {
 	fmt.Printf("relational:       %d gates, depth %d, cost %.6g, %d truncation restarts\n",
 		res.Circuit.Size(), res.Circuit.Depth(), res.Circuit.Cost(), res.Restarts)
 
+	if !*noOpt {
+		before := res.Circuit.Size()
+		optimized, mapping := opt.Rel(res.Circuit)
+		res.Circuit = optimized
+		res.Output = mapping[res.Output]
+		fmt.Printf("optimized:        %d gates (was %d), depth %d, cost %.6g\n",
+			optimized.Size(), before, optimized.Depth(), optimized.Cost())
+	}
+
 	if *gates {
 		fmt.Println("\nrelational gate list:")
 		fmt.Println(res.Circuit.String())
@@ -88,6 +99,12 @@ func main() {
 		obl, err := core.CompileOblivious(res.Circuit)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if !*noOpt {
+			before := obl.C.Size()
+			obl.C = opt.Bool(obl.C)
+			fmt.Printf("word-level opt:   %d gates -> %d (%.1f%% smaller)\n",
+				before, obl.C.Size(), 100*(1-float64(obl.C.Size())/float64(before)))
 		}
 		st := obl.C.StatsOf()
 		fmt.Printf("oblivious:        %d word gates, depth %d, %d input wires\n",

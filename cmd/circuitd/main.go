@@ -71,6 +71,7 @@ func run() int {
 		gateBudget = flag.Int64("gate-budget", 0, "per-request gate evaluation budget (0: none)")
 		admin      = flag.String("admin", "", "admin HTTP listen address (e.g. :6060) serving /metrics, /healthz, /trace/last, /debug/pprof/")
 		traceRing  = flag.Int("trace-ring", 64, "recent request span trees kept for /trace/last")
+		noOpt      = flag.Bool("no-opt", false, "compile plans without the circuit optimizer")
 	)
 	flag.Parse()
 
@@ -85,6 +86,7 @@ func run() int {
 		Workers:       *workers,
 		MaxCacheGates: *cacheGates,
 		Tracer:        tracer,
+		NoOpt:         *noOpt,
 	})
 	defer eng.Close()
 

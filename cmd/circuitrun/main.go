@@ -42,6 +42,7 @@ func main() {
 		obl   = flag.Bool("oblivious", true, "evaluate the oblivious circuit (false: relational only)")
 		dir   = flag.String("data", "", "directory of <RelationName>.csv files (overrides -workload)")
 		trace = flag.Bool("trace", false, "print the span tree of the compile and each evaluation")
+		noOpt = flag.Bool("no-opt", false, "skip the circuit optimizer (evaluate the raw constructions)")
 	)
 	flag.Parse()
 
@@ -94,13 +95,18 @@ func main() {
 	}
 
 	start := time.Now()
-	cq, err := circuitql.CompileCtx(ctx, q, dcs)
+	cq, err := circuitql.CompileOpts(ctx, q, dcs, circuitql.CompileOptions{NoOpt: *noOpt})
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := cq.Stats()
 	fmt.Printf("compiled in %v: relational %d gates (cost %.6g), oblivious %d gates depth %d\n",
 		time.Since(start), st.RelationalGates, st.Cost, st.Gates, st.Depth)
+	if rep := cq.OptimizerReport(); rep != nil {
+		fmt.Printf("optimizer: rel %d -> %d gates, word %d -> %d gates (%.1f%% smaller) in %v\n",
+			rep.RelGatesBefore, rep.RelGatesAfter,
+			rep.WordGatesBefore, rep.WordGatesAfter, 100*rep.WordReduction(), rep.Elapsed)
+	}
 
 	want, err := circuitql.EvaluateRAM(q, db)
 	if err != nil {

@@ -14,12 +14,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"circuitql/internal/boolcircuit"
 	"circuitql/internal/bound"
 	"circuitql/internal/guard"
 	"circuitql/internal/obs"
 	"circuitql/internal/opcircuits"
+	"circuitql/internal/opt"
 	"circuitql/internal/panda"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
@@ -240,10 +242,22 @@ type Compiled struct {
 	RelOutput int
 	Obliv     *ObliviousCircuit
 	Bound     *bound.Result
+	// Opt reports the optimizer's before/after sizes; nil when the
+	// passes were disabled (CompileOptions.NoOpt).
+	Opt *opt.Report
+}
+
+// CompileOptions tunes the compile pipeline. The zero value is the
+// default: optimizer passes enabled.
+type CompileOptions struct {
+	// NoOpt skips the internal/opt passes, emitting the paper's
+	// constructions verbatim — the escape hatch for debugging and for
+	// measuring the constructions' raw constant factors.
+	NoOpt bool
 }
 
 // CompileQuery runs the full pipeline for a full CQ: PANDA-C to a
-// relational circuit, then the oblivious lowering.
+// relational circuit, then the oblivious lowering, then the optimizer.
 func CompileQuery(q *query.Query, dcs query.DCSet) (*Compiled, error) {
 	return CompileQueryCtx(context.Background(), q, dcs)
 }
@@ -251,9 +265,14 @@ func CompileQuery(q *query.Query, dcs query.DCSet) (*Compiled, error) {
 // CompileQueryCtx is CompileQuery under a context: both the PANDA-C
 // compilation and the oblivious lowering poll ctx and respect any
 // guard.Budget it carries. The pipeline runs under an obs compile span
-// whose children are the lp-solve, proofseq, relcircuit, and
-// boolcircuit stages.
-func CompileQueryCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (_ *Compiled, err error) {
+// whose children are the lp-solve, proofseq, relcircuit, boolcircuit,
+// and optimize stages.
+func CompileQueryCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (*Compiled, error) {
+	return CompileQueryOptsCtx(ctx, q, dcs, CompileOptions{})
+}
+
+// CompileQueryOptsCtx is CompileQueryCtx with explicit options.
+func CompileQueryOptsCtx(ctx context.Context, q *query.Query, dcs query.DCSet, opts CompileOptions) (_ *Compiled, err error) {
 	ctx, sp := obs.StartSpan(ctx, obs.StageCompile)
 	defer func() {
 		sp.SetError(err)
@@ -263,19 +282,58 @@ func CompileQueryCtx(ctx context.Context, q *query.Query, dcs query.DCSet) (_ *C
 	if err != nil {
 		return nil, err
 	}
-	obl, err := CompileObliviousCtx(ctx, res.Circuit)
+	rel, relOutput := res.Circuit, res.Output
+
+	var report *opt.Report
+	if !opts.NoOpt {
+		report = &opt.Report{
+			RelGatesBefore: rel.Size(), RelDepthBefore: rel.Depth(),
+		}
+		optStart := time.Now()
+		optRel, mapping := opt.Rel(rel)
+		newOut, ok := mapping[relOutput]
+		if !ok {
+			return nil, fmt.Errorf("%w: core: optimizer dropped the output gate", guard.ErrInternal)
+		}
+		rel, relOutput = optRel, newOut
+		report.RelGatesAfter, report.RelDepthAfter = rel.Size(), rel.Depth()
+		report.Elapsed = time.Since(optStart)
+	}
+
+	obl, err := CompileObliviousCtx(ctx, rel)
 	if err != nil {
 		return nil, err
 	}
-	sp.AddInt(obs.CounterRelGates, int64(res.Circuit.Size()))
+
+	if !opts.NoOpt {
+		_, osp := obs.StartSpan(ctx, obs.StageOptimize)
+		optStart := time.Now()
+		report.WordGatesBefore, report.WordDepthBefore = obl.C.Size(), obl.C.Depth()
+		optimized := opt.Bool(obl.C)
+		if optimized.NumInputs() != obl.C.NumInputs() || len(optimized.Outputs()) != len(obl.C.Outputs()) {
+			osp.End()
+			return nil, fmt.Errorf("%w: core: optimizer changed the circuit interface (%d/%d inputs, %d/%d outputs)",
+				guard.ErrInternal, optimized.NumInputs(), obl.C.NumInputs(), len(optimized.Outputs()), len(obl.C.Outputs()))
+		}
+		obl.C = optimized
+		report.WordGatesAfter, report.WordDepthAfter = obl.C.Size(), obl.C.Depth()
+		report.Elapsed += time.Since(optStart)
+		osp.AddInt(obs.CounterOptGatesBefore, int64(report.WordGatesBefore))
+		osp.AddInt(obs.CounterOptGatesAfter, int64(report.WordGatesAfter))
+		osp.AddInt(obs.CounterOptNanos, report.Elapsed.Nanoseconds())
+		osp.End()
+	}
+
+	sp.AddInt(obs.CounterRelGates, int64(rel.Size()))
 	sp.AddInt(obs.CounterGates, int64(obl.C.Size()))
 	return &Compiled{
 		Query:     q,
 		DC:        dcs,
-		Rel:       res.Circuit,
-		RelOutput: res.Output,
+		Rel:       rel,
+		RelOutput: relOutput,
 		Obliv:     obl,
 		Bound:     res.Bound,
+		Opt:       report,
 	}, nil
 }
 

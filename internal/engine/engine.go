@@ -72,6 +72,11 @@ type Config struct {
 	// per-stage aggregates. nil disables tracing; the hot paths then
 	// pay a single branch per stage.
 	Tracer *obs.Tracer
+	// NoOpt disables the internal/opt optimizer passes, caching the
+	// paper's constructions verbatim. The cache then charges raw gate
+	// counts; with the default (optimizer on) it charges post-opt
+	// counts, so the same budget holds more plans.
+	NoOpt bool
 }
 
 func (c Config) withDefaults() Config {
@@ -444,7 +449,7 @@ func (e *Engine) compile(ctx context.Context, canon *query.Canonical) (*entry, e
 	var compiled *core.Compiled
 	err := func() (err error) {
 		defer guard.Recover(&err)
-		compiled, err = core.CompileQueryCtx(ctx, canon.Query, canon.DCs)
+		compiled, err = core.CompileQueryOptsCtx(ctx, canon.Query, canon.DCs, core.CompileOptions{NoOpt: e.cfg.NoOpt})
 		return err
 	}()
 	e.compiles.Add(1)

@@ -57,7 +57,7 @@ func TestEngineConcurrentServeSpanTrees(t *testing.T) {
 	validStage := func(name string) bool {
 		switch name {
 		case obs.StageServe, obs.StageCompile, obs.StageLPSolve, obs.StageProofSeq,
-			obs.StageRelCirc, obs.StageBoolCirc, obs.StageBitblast,
+			obs.StageRelCirc, obs.StageBoolCirc, obs.StageOptimize, obs.StageBitblast,
 			obs.StageRelEval, obs.StageBoolEval:
 			return true
 		}

@@ -42,6 +42,7 @@ const (
 	StageProofSeq = "proofseq"         // proof-sequence search
 	StageRelCirc  = "relcircuit"       // PANDA-C relational-circuit emission
 	StageBoolCirc = "boolcircuit"      // word-level oblivious lowering
+	StageOptimize = "optimize"         // post-compile optimizer passes (internal/opt)
 	StageBitblast = "bitblast"         // strict bit-level blast (§4.1 model)
 	StageYanPlan  = "yannakakis-plan"  // GHD + width search
 	StageYanCount = "yannakakis-count" // output-sensitive count circuit
@@ -61,6 +62,14 @@ const (
 	CounterSolves   = "lp_solves" // LP solves completed
 	CounterSteps    = "proof_steps"
 	CounterRestarts = "restarts" // truncation-path re-derivations
+
+	// Optimizer counters (internal/opt), attached to the optimize span:
+	// word-gate count entering and leaving the passes, and the passes'
+	// wall time in nanoseconds (also visible as the span duration; the
+	// counter makes it scrapeable as a stage counter family).
+	CounterOptGatesBefore = "gates_before"
+	CounterOptGatesAfter  = "gates_after"
+	CounterOptNanos       = "opt_ns"
 )
 
 // Attr is one key/value attached to a span: an integer counter

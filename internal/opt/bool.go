@@ -1,0 +1,323 @@
+package opt
+
+import (
+	"fmt"
+
+	"circuitql/internal/boolcircuit"
+)
+
+// Bool optimizes a word-level oblivious circuit. The circuit is rebuilt
+// in topological order through the builder's structural hash (global
+// value numbering), with constant folding and algebraic identities
+// applied to each gate before it is pushed; gates outside the output
+// cone are dropped. The rebuilt circuit has:
+//
+//   - the same number of input wires, allocated in the same order (so
+//     packing layouts remain valid even when some inputs become dead);
+//   - the same number of outputs, marked in the same order, carrying the
+//     same values on every input vector;
+//   - recomputed depths, so level buckets are recompacted for the
+//     parallel evaluator.
+//
+// Passes repeat until the gate count stops shrinking (folding can expose
+// new dead gates and new sharing). A pass that fails to improve is
+// discarded, never adopted: rewrites like constant-chain collapse mint
+// fresh Const gates, and when the original chain stays live (marked as
+// an output, say) the rebuild can come out a gate larger than its input.
+// Keeping the best circuit seen makes Bool monotone in both size and
+// depth — at worst it returns c itself.
+func Bool(c *boolcircuit.Circuit) *boolcircuit.Circuit {
+	best := c
+	for pass := 0; pass < maxPasses; pass++ {
+		next := boolPass(best)
+		if next.Size() > best.Size() ||
+			(next.Size() == best.Size() && next.Depth() >= best.Depth()) {
+			break
+		}
+		best = next
+	}
+	return best
+}
+
+func boolPass(c *boolcircuit.Circuit) *boolcircuit.Circuit {
+	n := c.Size()
+	outs := c.Outputs()
+
+	// Output cone: gates are topologically ordered, so one backward scan
+	// suffices. Inputs are always kept (their allocation order is the
+	// packing contract).
+	live := make([]bool, n)
+	for _, o := range outs {
+		live[o] = true
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !live[i] {
+			continue
+		}
+		g := c.GateAt(i)
+		for _, op := range [3]int32{g.A, g.B, g.C} {
+			if op >= 0 {
+				live[op] = true
+			}
+		}
+	}
+
+	nc := boolcircuit.New()
+	m := make([]int, n)
+	for i := 0; i < n; i++ {
+		g := c.GateAt(i)
+		if g.Op == boolcircuit.OpInput {
+			m[i] = nc.Input()
+			continue
+		}
+		if !live[i] {
+			m[i] = -1
+			continue
+		}
+		if g.Op == boolcircuit.OpConst {
+			m[i] = nc.Const(g.K)
+			continue
+		}
+		a, b, cond := -1, -1, -1
+		if g.A >= 0 {
+			a = m[g.A]
+		}
+		if g.B >= 0 {
+			b = m[g.B]
+		}
+		if g.C >= 0 {
+			cond = m[g.C]
+		}
+		m[i] = emit(nc, g.Op, a, b, cond)
+	}
+	for _, o := range outs {
+		nc.MarkOutput(m[o])
+	}
+	return nc
+}
+
+// constOf reports the value of wire w when it carries a constant.
+func constOf(c *boolcircuit.Circuit, w int) (int64, bool) {
+	if g := c.GateAt(w); g.Op == boolcircuit.OpConst {
+		return g.K, true
+	}
+	return 0, false
+}
+
+// emit pushes one rewritten gate, applying constant folding and
+// algebraic identities first. Operands are wire ids in c. The returned
+// wire carries exactly the value op(a, b, cond) computes under the
+// evaluator's semantics for every input vector.
+func emit(c *boolcircuit.Circuit, op boolcircuit.Op, a, b, cond int) int {
+	ka, aConst := int64(0), false
+	kb, bConst := int64(0), false
+	if a >= 0 {
+		ka, aConst = constOf(c, a)
+	}
+	if b >= 0 {
+		kb, bConst = constOf(c, b)
+	}
+
+	// Normalize commutative operands: constant to the right, then order
+	// by wire id — canonical forms maximize structural-hash sharing.
+	switch op {
+	case boolcircuit.OpAdd, boolcircuit.OpMul, boolcircuit.OpAnd,
+		boolcircuit.OpOr, boolcircuit.OpXor, boolcircuit.OpEq:
+		if aConst && !bConst {
+			a, b = b, a
+			ka, kb = kb, ka
+			aConst, bConst = bConst, aConst
+		} else if !aConst && !bConst && a > b {
+			a, b = b, a
+		}
+	}
+
+	if aConst && bConst && op != boolcircuit.OpMux {
+		return c.Const(foldBin(op, ka, kb))
+	}
+
+	switch op {
+	case boolcircuit.OpAdd:
+		if bConst {
+			if kb == 0 {
+				return a
+			}
+			// Constant-chain collapse: (x + k1) + k2 → x + (k1+k2).
+			if in := c.GateAt(a); in.Op == boolcircuit.OpAdd && in.B >= 0 {
+				if k1, ok := constOf(c, int(in.B)); ok {
+					return emit(c, boolcircuit.OpAdd, int(in.A), c.Const(k1+kb), -1)
+				}
+			}
+		}
+	case boolcircuit.OpSub:
+		if a == b {
+			return c.Const(0)
+		}
+		if bConst && kb == 0 {
+			return a
+		}
+	case boolcircuit.OpMul:
+		if bConst {
+			if kb == 0 {
+				return c.Const(0)
+			}
+			if kb == 1 {
+				return a
+			}
+		}
+	case boolcircuit.OpMod:
+		if bConst && kb == 0 {
+			return c.Const(0) // x mod 0 = 0 by the evaluator's definition
+		}
+		if aConst && ka == 0 {
+			return c.Const(0)
+		}
+	case boolcircuit.OpAnd:
+		if a == b {
+			return a
+		}
+		if bConst {
+			if kb == 0 {
+				return c.Const(0)
+			}
+			if kb == -1 {
+				return a
+			}
+			if in := c.GateAt(a); in.Op == boolcircuit.OpAnd && in.B >= 0 {
+				if k1, ok := constOf(c, int(in.B)); ok {
+					return emit(c, boolcircuit.OpAnd, int(in.A), c.Const(k1&kb), -1)
+				}
+			}
+		}
+	case boolcircuit.OpOr:
+		if a == b {
+			return a
+		}
+		if bConst {
+			if kb == 0 {
+				return a
+			}
+			if kb == -1 {
+				return c.Const(-1)
+			}
+			if in := c.GateAt(a); in.Op == boolcircuit.OpOr && in.B >= 0 {
+				if k1, ok := constOf(c, int(in.B)); ok {
+					return emit(c, boolcircuit.OpOr, int(in.A), c.Const(k1|kb), -1)
+				}
+			}
+		}
+	case boolcircuit.OpXor:
+		if a == b {
+			return c.Const(0)
+		}
+		if bConst {
+			if kb == 0 {
+				return a
+			}
+			if kb == -1 {
+				return emit(c, boolcircuit.OpNot, a, -1, -1)
+			}
+			if in := c.GateAt(a); in.Op == boolcircuit.OpXor && in.B >= 0 {
+				if k1, ok := constOf(c, int(in.B)); ok {
+					return emit(c, boolcircuit.OpXor, int(in.A), c.Const(k1^kb), -1)
+				}
+			}
+		}
+	case boolcircuit.OpNot:
+		if aConst {
+			return c.Const(^ka)
+		}
+		if in := c.GateAt(a); in.Op == boolcircuit.OpNot {
+			return int(in.A) // ¬¬x = x
+		}
+	case boolcircuit.OpEq:
+		if a == b {
+			return c.Const(1)
+		}
+	case boolcircuit.OpLt:
+		if a == b {
+			return c.Const(0)
+		}
+	case boolcircuit.OpMux:
+		if k, ok := constOf(c, cond); ok {
+			if k != 0 {
+				return a
+			}
+			return b
+		}
+		if a == b {
+			return a
+		}
+	}
+
+	switch op {
+	case boolcircuit.OpAdd:
+		return c.Add(a, b)
+	case boolcircuit.OpSub:
+		return c.Sub(a, b)
+	case boolcircuit.OpMul:
+		return c.Mul(a, b)
+	case boolcircuit.OpMod:
+		return c.ModC(a, b)
+	case boolcircuit.OpAnd:
+		return c.And(a, b)
+	case boolcircuit.OpOr:
+		return c.Or(a, b)
+	case boolcircuit.OpXor:
+		return c.Xor(a, b)
+	case boolcircuit.OpNot:
+		return c.Not(a)
+	case boolcircuit.OpEq:
+		return c.Eq(a, b)
+	case boolcircuit.OpLt:
+		return c.Lt(a, b)
+	case boolcircuit.OpMux:
+		return c.Mux(cond, a, b)
+	}
+	panic(fmt.Sprintf("opt: unknown op %v", op))
+}
+
+// foldBin computes a binary operation on two constants with exactly the
+// evaluator's semantics (boolcircuit.EvaluateCtx).
+func foldBin(op boolcircuit.Op, a, b int64) int64 {
+	switch op {
+	case boolcircuit.OpAdd:
+		return a + b
+	case boolcircuit.OpSub:
+		return a - b
+	case boolcircuit.OpMul:
+		return a * b
+	case boolcircuit.OpMod:
+		if b == 0 {
+			return 0
+		}
+		m := a % b
+		if m < 0 {
+			if b < 0 {
+				m -= b
+			} else {
+				m += b
+			}
+		}
+		return m
+	case boolcircuit.OpAnd:
+		return a & b
+	case boolcircuit.OpOr:
+		return a | b
+	case boolcircuit.OpXor:
+		return a ^ b
+	case boolcircuit.OpNot:
+		return ^a
+	case boolcircuit.OpEq:
+		if a == b {
+			return 1
+		}
+		return 0
+	case boolcircuit.OpLt:
+		if a < b {
+			return 1
+		}
+		return 0
+	}
+	panic(fmt.Sprintf("opt: cannot fold op %v", op))
+}

@@ -1,0 +1,79 @@
+// Package opt is the circuit optimizer: semantics-preserving passes over
+// the paper's two circuit layers, applied between compilation and the
+// plan cache.
+//
+// The paper's headline results (Theorems 1-5) are all statements about
+// circuit *size* against the polymatroid bound, but the constructions of
+// Sections 4-5 are emitted verbatim by the compiler, so measured sizes
+// carry avoidable constant factors. Knowledge-compilation practice
+// (Amarilli & Capelli; Amarilli, Monet & Senellart) treats hash-consed,
+// deduplicated circuits as the canonical representation; this package
+// adopts that here.
+//
+// Relational passes (Rel):
+//
+//   - common-subexpression elimination: structurally identical gates
+//     (same kind, inputs, parameters, schema, AND declared bound — the
+//     bound is part of the wire contract, so only wires with the same
+//     contract merge) are shared;
+//   - algebraic rewrites: union-with-empty elision, join-with-empty and
+//     select-false emptiness propagation (declared bounds tightened to 0,
+//     shrinking every downstream oblivious capacity), double-projection
+//     collapse, identity-projection and no-op-cap forwarding;
+//   - dead-gate elimination from the output cone (relcircuit.Prune).
+//
+// Word-level passes (Bool):
+//
+//   - global value numbering: the circuit is rebuilt gate by gate in
+//     topological order through the builder's structural hash, so gates
+//     that become identical after rewriting merge;
+//   - constant folding and algebraic identities (x+0, x·0, x·1, x&x,
+//     x|x, x^x, ¬¬x, mux with constant or equal arms, constant-chain
+//     collapse for +, ^, &, |);
+//   - dead-gate elimination from the output cone;
+//   - level recompaction: depths are recomputed on the rebuilt circuit,
+//     so EvaluateParallelCtx sees tighter, wider levels.
+//
+// Every pass preserves input-wire allocation order and output marking
+// order, so packing layouts, output offsets, and serialized artifacts
+// remain valid. Soundness is established empirically by the
+// differential-equivalence harness (differential_test.go) and
+// FuzzOptimize, and the size accounting by the golden tests.
+package opt
+
+import "time"
+
+// Report summarizes one optimization run for observability and the
+// cost-aware plan cache. The word-level "before" numbers describe the
+// input to the word passes — the lowering of the already rel-optimized
+// circuit — so they sit at or below what a fully unoptimized pipeline
+// would have produced; WordReduction therefore understates the combined
+// two-layer win slightly.
+type Report struct {
+	RelGatesBefore, RelGatesAfter   int
+	RelDepthBefore, RelDepthAfter   int
+	WordGatesBefore, WordGatesAfter int
+	WordDepthBefore, WordDepthAfter int
+	Elapsed                         time.Duration
+}
+
+// WordReduction returns the fractional word-gate reduction in [0, 1].
+func (r Report) WordReduction() float64 {
+	if r.WordGatesBefore == 0 {
+		return 0
+	}
+	return 1 - float64(r.WordGatesAfter)/float64(r.WordGatesBefore)
+}
+
+// RelReduction returns the fractional relational-gate reduction.
+func (r Report) RelReduction() float64 {
+	if r.RelGatesBefore == 0 {
+		return 0
+	}
+	return 1 - float64(r.RelGatesAfter)/float64(r.RelGatesBefore)
+}
+
+// maxPasses bounds the rewrite→CSE→prune fixpoint loops. Each pass only
+// shrinks the circuit, so the loop terminates on its own; the cap is a
+// backstop against a pathological slow convergence.
+const maxPasses = 8

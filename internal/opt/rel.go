@@ -1,0 +1,248 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"circuitql/internal/expr"
+	"circuitql/internal/relcircuit"
+)
+
+const eps = 1e-9
+
+// Rel optimizes a relational circuit and returns the optimized circuit
+// plus the mapping from old gate ids to new ones (defined for every gate
+// that survives; all output gates survive). The passes run to a
+// fixpoint: rewrite + CSE forward walk, then dead-gate elimination from
+// the output cone.
+//
+// Every rewrite preserves the circuit's contract: for every database
+// conforming to the declared bounds, every surviving wire carries
+// exactly the relation it carried before, and no surviving declared
+// bound is loosened (so checked evaluation still passes and the
+// oblivious lowering's capacities only shrink).
+func Rel(rc *relcircuit.Circuit) (*relcircuit.Circuit, map[int]int) {
+	cur := rc
+	total := make(map[int]int, len(rc.Gates))
+	for i := range rc.Gates {
+		total[i] = i
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		next, m1 := relPass(cur)
+		pruned, m2 := next.Prune()
+		total = compose(total, compose(m1, m2))
+		done := pruned.Size() >= cur.Size()
+		cur = pruned
+		if done {
+			break
+		}
+	}
+	return cur, total
+}
+
+// compose chains two (possibly partial) gate-id mappings.
+func compose(a, b map[int]int) map[int]int {
+	out := make(map[int]int, len(a))
+	for k, v := range a {
+		if w, ok := b[v]; ok {
+			out[k] = w
+		}
+	}
+	return out
+}
+
+// relPass walks the circuit once in topological order, rewriting and
+// hash-consing each gate into a fresh circuit. The returned mapping is
+// total (every old gate maps somewhere; forwarding maps a gate onto its
+// surviving representative).
+func relPass(rc *relcircuit.Circuit) (*relcircuit.Circuit, map[int]int) {
+	out := relcircuit.New()
+	m := make(map[int]int, len(rc.Gates))
+	seen := make(map[string]int, len(rc.Gates))
+
+	boundOf := func(id int) relcircuit.Bound { return out.Gates[id].Out }
+	empty := func(id int) bool { return boundOf(id).Card < 1-eps }
+
+	push := func(g relcircuit.Gate) int {
+		key := gateKey(out, g)
+		if id, ok := seen[key]; ok {
+			return id
+		}
+		g.ID = len(out.Gates)
+		out.Gates = append(out.Gates, g)
+		seen[key] = g.ID
+		return g.ID
+	}
+
+	for _, old := range rc.Gates {
+		g := old // copy; rewrite in terms of new ids
+		g.In = make([]int, len(old.In))
+		for i, in := range old.In {
+			g.In[i] = m[in]
+		}
+
+		// Emptiness propagation: a gate whose (relevant) input is known
+		// empty produces the empty relation, so its declared cardinality
+		// tightens to 0 and every downstream capacity shrinks with it.
+		switch g.Kind {
+		case relcircuit.KindInput:
+			// Input bounds are the contract with the data; never touched.
+		case relcircuit.KindUnion:
+			a, b := g.In[0], g.In[1]
+			switch {
+			case empty(a) && empty(b):
+				g.Out.Card = 0
+			case empty(a):
+				if id, ok := forwardTo(out, b, g.Out); ok {
+					m[old.ID] = id
+					continue
+				}
+				g = capGate(out, b, g.Out)
+			case empty(b):
+				if id, ok := forwardTo(out, a, g.Out); ok {
+					m[old.ID] = id
+					continue
+				}
+				g = capGate(out, a, g.Out)
+			}
+		case relcircuit.KindSelect:
+			if empty(g.In[0]) {
+				g.Out.Card = 0
+			} else if len(expr.Attrs(g.Pred)) == 0 {
+				// Constant predicate: TRUE is the identity, FALSE empties
+				// the wire (the gate stays — there is no empty-constant
+				// gate — but its bound collapses to 0).
+				if g.Pred.Eval(nil) != 0 {
+					if id, ok := forwardTo(out, g.In[0], g.Out); ok {
+						m[old.ID] = id
+						continue
+					}
+					g = capGate(out, g.In[0], g.Out)
+				} else {
+					g.Out.Card = 0
+				}
+			}
+		case relcircuit.KindJoin:
+			if empty(g.In[0]) || empty(g.In[1]) {
+				g.Out.Card = 0
+			}
+		case relcircuit.KindProject:
+			in := out.Gates[g.In[0]]
+			if in.Kind == relcircuit.KindProject {
+				// Double-projection collapse: Π_B(Π_A(x)) = Π_B(x) since
+				// B ⊆ A by construction. The outer bound is kept.
+				g.In[0] = in.In[0]
+				in = out.Gates[g.In[0]]
+			}
+			if empty(g.In[0]) {
+				g.Out.Card = 0
+			} else if sameSchema(g.Attrs, in.Schema) {
+				// Identity projection: same attributes in the same order.
+				if id, ok := forwardTo(out, g.In[0], g.Out); ok {
+					m[old.ID] = id
+					continue
+				}
+				g = capGate(out, g.In[0], g.Out)
+			}
+		case relcircuit.KindCap:
+			if empty(g.In[0]) {
+				g.Out.Card = 0
+			}
+			if id, ok := forwardTo(out, g.In[0], g.Out); ok {
+				m[old.ID] = id
+				continue
+			}
+		default: // Agg, Order, Map
+			if empty(g.In[0]) {
+				g.Out.Card = 0
+			}
+		}
+
+		m[old.ID] = push(g)
+	}
+
+	for _, o := range rc.Outputs {
+		out.Outputs = append(out.Outputs, m[o])
+	}
+	return out, m
+}
+
+// forwardTo reports whether references to a gate declared with bound b
+// may be forwarded directly to gate in: sound whenever in's declared
+// bound already implies b, i.e. the forwarding never loosens a bound any
+// downstream consumer (join degree lookups, capacities, checked
+// evaluation) could observe.
+func forwardTo(c *relcircuit.Circuit, in int, b relcircuit.Bound) (int, bool) {
+	if implies(c.Gates[in].Out, b) {
+		return in, true
+	}
+	return 0, false
+}
+
+// implies reports whether bound a is at least as tight as bound b:
+// a.Card ≤ b.Card and every degree bound of b is already enforced under
+// a. Then for every attribute set F, a.DegOn(F) ≤ b.DegOn(F).
+func implies(a, b relcircuit.Bound) bool {
+	if a.Card > b.Card+eps {
+		return false
+	}
+	for _, d := range b.Degs {
+		if a.DegOn(d.On) > d.N+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// capGate replaces a forwarding-ineligible identity gate (union with an
+// empty side, identity projection) by the truncation operator carrying
+// the original gate's tighter declared bound.
+func capGate(c *relcircuit.Circuit, in int, b relcircuit.Bound) relcircuit.Gate {
+	return relcircuit.Gate{
+		Kind:   relcircuit.KindCap,
+		In:     []int{in},
+		Schema: append([]string(nil), c.Gates[in].Schema...),
+		Out:    b,
+		Label:  fmt.Sprintf("cap[%g]", b.Card),
+	}
+}
+
+func sameSchema(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// gateKey serializes everything observable about a gate — kind, inputs,
+// parameters, schema, and the declared bound (part of the wire
+// contract) — for hash-consing.
+func gateKey(c *relcircuit.Circuit, g relcircuit.Gate) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%v|%v|", int(g.Kind), g.In, g.Schema)
+	fmt.Fprintf(&sb, "%.17g", g.Out.Card)
+	for _, d := range g.Out.Degs {
+		fmt.Fprintf(&sb, ";%v<=%.17g", d.On, d.N)
+	}
+	sb.WriteByte('|')
+	switch g.Kind {
+	case relcircuit.KindInput:
+		sb.WriteString(g.Name)
+	case relcircuit.KindSelect:
+		fmt.Fprintf(&sb, "%v", g.Pred)
+	case relcircuit.KindProject, relcircuit.KindOrder:
+		fmt.Fprintf(&sb, "%v", g.Attrs)
+	case relcircuit.KindAgg:
+		fmt.Fprintf(&sb, "%v|%d|%s|%s", g.GroupBy, int(g.AggKind), g.AggOver, g.AggAs)
+	case relcircuit.KindMap:
+		for _, me := range g.MapExprs {
+			fmt.Fprintf(&sb, "%s=%v,", me.As, me.E)
+		}
+	}
+	return sb.String()
+}

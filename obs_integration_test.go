@@ -48,7 +48,7 @@ func TestCompileSpanChildrenCoverWallTime(t *testing.T) {
 		covered += c.Duration()
 		stages[c.Name] = true
 	}
-	for _, want := range []string{obs.StageLPSolve, obs.StageProofSeq, obs.StageRelCirc, obs.StageBoolCirc} {
+	for _, want := range []string{obs.StageLPSolve, obs.StageProofSeq, obs.StageRelCirc, obs.StageBoolCirc, obs.StageOptimize} {
 		if !stages[want] {
 			t.Errorf("compile span missing %q child (got %v)", want, stages)
 		}
@@ -59,21 +59,30 @@ func TestCompileSpanChildrenCoverWallTime(t *testing.T) {
 	}
 
 	// The counters must be in the paper's currency: the boolcircuit child
-	// reports exactly the compiled circuit's gate count.
+	// reports what the lowering produced, and the optimize child accounts
+	// for the shrink down to the final circuit of Stats().
 	st := cq.Stats()
-	var boolGates int64
+	var boolGates, optBefore, optAfter int64
 	for _, c := range root.Children() {
-		if c.Name != obs.StageBoolCirc {
-			continue
-		}
 		for _, a := range c.Attrs() {
-			if a.Key == obs.CounterGates {
+			switch {
+			case c.Name == obs.StageBoolCirc && a.Key == obs.CounterGates:
 				boolGates = a.Int
+			case c.Name == obs.StageOptimize && a.Key == obs.CounterOptGatesBefore:
+				optBefore = a.Int
+			case c.Name == obs.StageOptimize && a.Key == obs.CounterOptGatesAfter:
+				optAfter = a.Int
 			}
 		}
 	}
-	if boolGates != int64(st.Gates) {
-		t.Errorf("boolcircuit span gates = %d, Stats().Gates = %d", boolGates, st.Gates)
+	if boolGates != optBefore {
+		t.Errorf("boolcircuit span gates = %d, optimize span gates_before = %d", boolGates, optBefore)
+	}
+	if optAfter != int64(st.Gates) {
+		t.Errorf("optimize span gates_after = %d, Stats().Gates = %d", optAfter, st.Gates)
+	}
+	if boolGates < optAfter {
+		t.Errorf("lowering reported %d gates, fewer than the optimized circuit's %d", boolGates, optAfter)
 	}
 
 	// Evaluation spans attach as fresh roots under the same tracer.

@@ -31,6 +31,13 @@
 //
 //	circuitd -admin :6060 </dev/null &
 //	curl localhost:6060/metrics
+//
+// Overload protection: -max-inflight caps concurrent evaluation,
+// -queue-depth bounds each admission lane, and -shed-policy picks what a
+// full lane does (block, shed with a typed retry-after error, or
+// adaptive degradation). SIGINT/SIGTERM triggers a graceful drain
+// bounded by -drain: queued requests get that long to finish before
+// engine-owned work is canceled with typed errors.
 package main
 
 import (
@@ -72,8 +79,21 @@ func run() int {
 		admin      = flag.String("admin", "", "admin HTTP listen address (e.g. :6060) serving /metrics, /healthz, /trace/last, /debug/pprof/")
 		traceRing  = flag.Int("trace-ring", 64, "recent request span trees kept for /trace/last")
 		noOpt      = flag.Bool("no-opt", false, "compile plans without the circuit optimizer")
+		inflight   = flag.Int("max-inflight", 0, "concurrently evaluating requests on the cached-hit lane (0: GOMAXPROCS; compile misses get half)")
+		queueDepth = flag.Int("queue-depth", 0, "queued requests per admission lane beyond its workers (0: 2x the lane's workers)")
+		shed       = flag.String("shed-policy", "block", "full-queue behavior: block (wait), shed (reject with a typed overload error), adaptive (shed plus load-based degradation)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown; queued work past it fails with typed errors")
 	)
 	flag.Parse()
+
+	policy, err := parseShedPolicy(*shed)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	if *inflight == 0 && *workers != 0 {
+		*inflight = *workers // -workers is the legacy spelling
+	}
 
 	// The admin listener implies per-request tracing: every request's
 	// span tree lands in the ring buffer behind /trace/last and its
@@ -83,17 +103,29 @@ func run() int {
 		tracer = obs.NewTracer(*traceRing)
 	}
 	eng := circuitql.NewEngine(circuitql.EngineConfig{
-		Workers:       *workers,
-		MaxCacheGates: *cacheGates,
-		Tracer:        tracer,
-		NoOpt:         *noOpt,
+		Workers:        *inflight,
+		QueueDepth:     *queueDepth,
+		MissQueueDepth: *queueDepth,
+		ShedPolicy:     policy,
+		MaxCacheGates:  *cacheGates,
+		Tracer:         tracer,
+		NoOpt:          *noOpt,
 	})
-	defer eng.Close()
+	// Deadline-bounded drain instead of a plain Close: queued requests
+	// get *drain to finish; engine-owned compiles are canceled past it.
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := eng.Shutdown(ctx); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	var adminDone func()
 	if *admin != "" {
 		reg := obs.NewRegistry()
 		reg.Register(func() []obs.Family { return eng.Metrics().Families() })
+		reg.Register(func() []obs.Family { return eng.QoS().Families() })
 		reg.Register(obs.Tiers.Families)
 		reg.Register(obs.TracerFamilies(tracer))
 		ln, err := net.Listen("tcp", *admin)
@@ -111,33 +143,63 @@ func run() int {
 		adminDone = func() { srv.Close() }
 	}
 
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	lineNo, failures := 0, 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	// SIGINT/SIGTERM starts a graceful drain: stop consuming stdin,
+	// then the deferred Shutdown above gives in-flight and queued work
+	// up to -drain to finish.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	// The scanner feeds a channel so the serve loop can select between
+	// input and signals. The goroutine exits with the process; its send
+	// blocking after an interrupt is harmless.
+	lines := make(chan string)
+	scanErr := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			lines <- sc.Text()
 		}
-		if err := serveLine(eng, line, *n, *seed, *timeout, *gateBudget); err != nil {
-			failures++
-			fmt.Printf("line %d: error: %v\n", lineNo, err)
+		scanErr <- sc.Err()
+		close(lines)
+	}()
+
+	lineNo, failures, interrupted := 0, 0, false
+serve:
+	for {
+		select {
+		case raw, ok := <-lines:
+			if !ok {
+				if err := <-scanErr; err != nil {
+					log.Print(err)
+					return 1
+				}
+				break serve
+			}
+			lineNo++
+			line := strings.TrimSpace(raw)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if err := serveLine(eng, line, *n, *seed, *timeout, *gateBudget); err != nil {
+				failures++
+				fmt.Printf("line %d: error: %v\n", lineNo, err)
+			}
+		case s := <-sig:
+			log.Printf("%v: draining (bound %v)", s, *drain)
+			interrupted = true
+			break serve
 		}
-	}
-	if err := sc.Err(); err != nil {
-		log.Print(err)
-		return 1
 	}
 
 	fmt.Printf("\n%s\n", eng.Metrics())
 	// With an admin listener up, stdin EOF does not end the process:
 	// scrapers keep reading /metrics until SIGINT/SIGTERM.
 	if adminDone != nil {
-		log.Print("stdin closed; admin endpoints stay up — interrupt to exit")
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-		<-sig
+		if !interrupted {
+			log.Print("stdin closed; admin endpoints stay up — interrupt to exit")
+			<-sig
+		}
 		adminDone()
 	}
 	if failures > 0 {
@@ -145,6 +207,19 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// parseShedPolicy maps the -shed-policy flag onto an engine policy.
+func parseShedPolicy(s string) (circuitql.ShedPolicy, error) {
+	switch s {
+	case "block":
+		return circuitql.ShedBlock, nil
+	case "shed":
+		return circuitql.ShedOnFull, nil
+	case "adaptive":
+		return circuitql.ShedAdaptive, nil
+	}
+	return 0, fmt.Errorf("unknown -shed-policy %q (want block, shed, or adaptive)", s)
 }
 
 // serveLine parses one "query [; constraints]" line, builds its

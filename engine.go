@@ -17,6 +17,7 @@ import (
 	"context"
 
 	"circuitql/internal/engine"
+	"circuitql/internal/qos"
 	"circuitql/internal/query"
 )
 
@@ -35,6 +36,50 @@ type EngineMetrics = engine.Metrics
 // fingerprint, cache-hit flag, the tier that served, per-tier attempts,
 // and compile/eval timings.
 type ServeResult = engine.Result
+
+// ShedPolicy selects how an Engine behaves when its admission queues
+// fill: block the caller (the default), shed immediately with a typed
+// ErrOverloaded, or shed adaptively by load and priority.
+type ShedPolicy = engine.ShedPolicy
+
+// Shed policies for EngineConfig.ShedPolicy.
+const (
+	// ShedBlock: Submit blocks until the lane accepts the request or
+	// the caller's context dies. Predictable, but a saturated engine
+	// backs pressure up into every caller.
+	ShedBlock = engine.ShedBlock
+	// ShedOnFull: a full lane rejects immediately with ErrOverloaded
+	// carrying a retry-after hint, keeping latency bounded.
+	ShedOnFull = engine.ShedOnFull
+	// ShedAdaptive: ShedOnFull plus the degradation ladder — under
+	// sustained pressure new compiles skip the optimizer, wide plans
+	// route to cheaper tiers, and low-priority work is shed first.
+	ShedAdaptive = engine.ShedAdaptive
+)
+
+// Priority orders requests for load shedding: under ShedAdaptive and
+// critical load, below-normal-priority requests are shed first. Attach
+// with WithPriority.
+type Priority = qos.Priority
+
+// Priorities for WithPriority.
+const (
+	PriorityLow    = qos.PriorityLow
+	PriorityNormal = qos.PriorityNormal
+	PriorityHigh   = qos.PriorityHigh
+)
+
+// WithPriority tags ctx with a shedding priority for requests submitted
+// under it.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return qos.WithPriority(ctx, p)
+}
+
+// QoSSnapshot is a point-in-time view of an Engine's overload-protection
+// state: per-lane admissions and sheds, reroutes, deadline failures by
+// stage, degradation actions, live queue gauges, and the current
+// degradation level.
+type QoSSnapshot = qos.Snapshot
 
 // Fingerprint identifies a (query, DC set) pair up to variable renaming
 // and atom/constraint reordering.
@@ -77,8 +122,17 @@ func (e *Engine) Submit(ctx context.Context, q *Query, dcs DCSet, db Database) <
 }
 
 // Close stops accepting requests, drains queued ones, and waits for the
-// workers to finish. Safe to call more than once.
+// workers to finish. Safe to call more than once, including
+// concurrently with itself and with Serve/Submit.
 func (e *Engine) Close() error { return e.inner.Close() }
+
+// Shutdown is Close bounded by ctx: when ctx expires, engine-owned work
+// (detached compiles) is canceled so queued requests drain promptly
+// with typed errors instead of waiting out arbitrarily long compiles.
+func (e *Engine) Shutdown(ctx context.Context) error { return e.inner.Shutdown(ctx) }
 
 // Metrics returns a snapshot of the engine's counters.
 func (e *Engine) Metrics() EngineMetrics { return e.inner.Metrics() }
+
+// QoS returns a snapshot of the engine's overload-protection state.
+func (e *Engine) QoS() QoSSnapshot { return e.inner.QoS() }

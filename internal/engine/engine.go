@@ -19,6 +19,26 @@
 //     EvaluateResilient (oblivious → relational → RAM), with wide
 //     circuits routed through the level-parallel evaluator;
 //   - independent requests fan out across a bounded worker pool.
+//
+// Overload protection (internal/qos holds the policy pieces):
+//
+//   - admission is cost-classed into two lanes — requests expected to
+//     hit the plan cache vs. requests that need a compile — each with
+//     its own queue depth and concurrency cap, so a burst of expensive
+//     compile misses cannot starve cached hits;
+//   - under ShedOnFull / ShedAdaptive a full lane rejects immediately
+//     with a typed *guard.OverloadError carrying a retry-after hint
+//     (ShedBlock keeps the legacy blocking submit);
+//   - request deadlines propagate as per-tier shares (qos.PlanTier),
+//     and compile leaders detach onto an engine-scoped context so an
+//     impatient caller's deadline never kills a compile that followers
+//     are waiting on;
+//   - a degradation ladder (qos.Policy) disables the optimizer for new
+//     compiles under pressure, routes wide plans past the oblivious
+//     tier under critical load, and sheds low-priority work first;
+//   - sticky negative plan-cache entries expire after NegativeTTL so a
+//     misclassified shape heals instead of being pinned to the RAM tier
+//     forever.
 package engine
 
 import (
@@ -31,8 +51,10 @@ import (
 	"time"
 
 	"circuitql/internal/core"
+	"circuitql/internal/faultinject"
 	"circuitql/internal/guard"
 	"circuitql/internal/obs"
+	"circuitql/internal/qos"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
 )
@@ -44,6 +66,37 @@ const (
 	TierRAM        = "ram"
 )
 
+// ShedPolicy decides what happens when an admission lane's queue is
+// full.
+type ShedPolicy int
+
+const (
+	// ShedBlock (the default) preserves the legacy behavior: Submit
+	// blocks until the lane has room or the caller's context dies.
+	ShedBlock ShedPolicy = iota
+	// ShedOnFull rejects immediately with a typed *guard.OverloadError
+	// (matching guard.ErrOverloaded) carrying a retry-after hint.
+	ShedOnFull
+	// ShedAdaptive is ShedOnFull plus the degradation ladder: under
+	// pressure new compiles skip the optimizer, under critical load wide
+	// plans bypass the oblivious tier and low-priority requests are shed
+	// at admission.
+	ShedAdaptive
+)
+
+// String names the policy (flag value syntax).
+func (p ShedPolicy) String() string {
+	switch p {
+	case ShedBlock:
+		return "block"
+	case ShedOnFull:
+		return "shed"
+	case ShedAdaptive:
+		return "adaptive"
+	}
+	return "unknown"
+}
+
 // Config sizes the engine. The zero value selects sensible defaults.
 type Config struct {
 	// MaxCacheGates caps the summed gate count (relational + oblivious)
@@ -53,12 +106,29 @@ type Config struct {
 	// MaxPlans optionally caps the number of cached plans regardless of
 	// size. 0 means no count cap.
 	MaxPlans int
-	// Workers is the size of the request worker pool. 0 selects
+	// Workers is the concurrency cap of the cached-hit lane. 0 selects
 	// GOMAXPROCS.
 	Workers int
-	// QueueDepth is the submission queue length beyond the workers.
+	// QueueDepth is the hit lane's queue length beyond the workers.
 	// 0 selects 2×Workers.
 	QueueDepth int
+	// MissWorkers is the concurrency cap of the compile-miss lane.
+	// 0 selects max(1, Workers/2).
+	MissWorkers int
+	// MissQueueDepth is the miss lane's queue length. 0 selects
+	// 2×MissWorkers.
+	MissQueueDepth int
+	// ShedPolicy decides whether a full lane blocks the submitter
+	// (ShedBlock, the default) or rejects with guard.ErrOverloaded.
+	ShedPolicy ShedPolicy
+	// NegativeTTL is how long a sticky negative plan-cache entry (a
+	// compile failure pinned to the RAM tier) stays before the shape is
+	// retried. 0 selects 30s; negative means never expire.
+	NegativeTTL time.Duration
+	// Policy maps load onto degradation levels. The zero value selects
+	// qos.DefaultPolicy when ShedPolicy is ShedAdaptive and disables the
+	// ladder otherwise.
+	Policy qos.Policy
 	// WideLevelThreshold routes a plan's oblivious evaluation through
 	// the level-parallel evaluator when its widest circuit level has at
 	// least this many gates. 0 selects 4096; negative disables parallel
@@ -89,8 +159,23 @@ func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 2 * c.Workers
 	}
+	if c.MissWorkers <= 0 {
+		c.MissWorkers = c.Workers / 2
+		if c.MissWorkers < 1 {
+			c.MissWorkers = 1
+		}
+	}
+	if c.MissQueueDepth <= 0 {
+		c.MissQueueDepth = 2 * c.MissWorkers
+	}
+	if c.NegativeTTL == 0 {
+		c.NegativeTTL = 30 * time.Second
+	}
 	if c.WideLevelThreshold == 0 {
 		c.WideLevelThreshold = 4096
+	}
+	if c.ShedPolicy == ShedAdaptive && c.Policy == (qos.Policy{}) {
+		c.Policy = qos.DefaultPolicy()
 	}
 	return c
 }
@@ -132,9 +217,26 @@ type Engine struct {
 	flights *flightGroup
 	closed  bool
 
-	jobs    chan *job
-	submitM sync.RWMutex // held (R) while sending on jobs; (W) by Close
-	wg      sync.WaitGroup
+	jobsHit  chan *job
+	jobsMiss chan *job
+	submitM  sync.RWMutex // held (R) while sending on a lane; (W) by Close
+	wg       sync.WaitGroup
+
+	// lifeCtx scopes detached compile leaders to the engine's lifetime:
+	// a caller abandoning its flight does not kill the compile the other
+	// followers wait on; Close (after draining) and Shutdown cancel it.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+	compileWG  sync.WaitGroup
+	closeOnce  sync.Once
+
+	// qos state
+	ledger       qos.Ledger
+	estServe     [qos.NumLanes]qos.Estimator // whole-request service time per lane
+	estObliv     qos.Estimator               // per-tier eval estimates for deadline shares
+	estRel       qos.Estimator
+	estRAM       qos.Estimator
+	laneInFlight [qos.NumLanes]atomic.Int64
 
 	// counters (metrics.go holds the snapshot type)
 	hits, misses, evictions    atomic.Int64
@@ -146,38 +248,132 @@ type Engine struct {
 }
 
 type job struct {
-	ctx context.Context
-	req Request
-	out chan Result
+	ctx      context.Context
+	req      Request
+	canon    *query.Canonical
+	canonErr error
+	lane     qos.Lane
+	out      chan Result
 }
+
+// errReroute is the internal signal that a hit-classified request found
+// its plan gone (evicted or expired between classification and
+// processing) and must be re-queued onto the miss lane.
+var errReroute = errors.New("engine: plan gone; reroute to miss lane")
 
 // New starts an engine with the given configuration.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	e := &Engine{
-		cfg:     cfg,
-		cache:   newPlanCache(cfg.MaxCacheGates, cfg.MaxPlans),
-		flights: newFlightGroup(),
-		jobs:    make(chan *job, cfg.QueueDepth),
+	negTTL := cfg.NegativeTTL
+	if negTTL < 0 {
+		negTTL = 0 // never expire
 	}
-	e.wg.Add(cfg.Workers)
+	e := &Engine{
+		cfg:      cfg,
+		cache:    newPlanCache(cfg.MaxCacheGates, cfg.MaxPlans, negTTL),
+		flights:  newFlightGroup(),
+		jobsHit:  make(chan *job, cfg.QueueDepth),
+		jobsMiss: make(chan *job, cfg.MissQueueDepth),
+	}
+	e.lifeCtx, e.lifeCancel = context.WithCancel(context.Background())
+	e.wg.Add(cfg.Workers + cfg.MissWorkers)
 	for i := 0; i < cfg.Workers; i++ {
-		go e.worker()
+		go e.worker(e.jobsHit, qos.LaneHit)
+	}
+	for i := 0; i < cfg.MissWorkers; i++ {
+		go e.worker(e.jobsMiss, qos.LaneMiss)
 	}
 	return e
 }
 
-func (e *Engine) worker() {
+func (e *Engine) worker(jobs chan *job, lane qos.Lane) {
 	defer e.wg.Done()
-	for j := range e.jobs {
-		j.out <- e.process(j.ctx, j.req)
+	for j := range jobs {
+		e.laneInFlight[lane].Add(1)
+		start := time.Now()
+		res, requeued := e.process(j)
+		e.estServe[lane].Observe(time.Since(start))
+		e.laneInFlight[lane].Add(-1)
+		if !requeued {
+			j.out <- res
+		}
 	}
 }
 
-// Submit enqueues a request on the worker pool and returns a channel
-// that will receive exactly one Result. Submission blocks only when the
-// queue is full; a canceled context or a closed engine resolves the
-// result immediately with an error.
+// ladderOn reports whether the degradation ladder is active.
+func (e *Engine) ladderOn() bool { return e.cfg.Policy != (qos.Policy{}) }
+
+// load assembles the qos picture of current pressure.
+func (e *Engine) load() qos.Load {
+	return qos.Load{
+		HitQueue:  len(e.jobsHit),
+		HitDepth:  cap(e.jobsHit),
+		MissQueue: len(e.jobsMiss),
+		MissDepth: cap(e.jobsMiss),
+		InFlight:  int(e.inFlight.Load()),
+		Workers:   e.cfg.Workers + e.cfg.MissWorkers,
+		EvalP95:   e.evalLat.snapshot().Quantile(0.95),
+	}
+}
+
+// level grades the current load on the degradation ladder.
+func (e *Engine) level() qos.Level {
+	if !e.ladderOn() {
+		return qos.LevelNormal
+	}
+	return e.cfg.Policy.Level(e.load())
+}
+
+// retryAfter estimates when lane will have capacity again.
+func (e *Engine) retryAfter(lane qos.Lane) time.Duration {
+	queued, workers := len(e.jobsHit), e.cfg.Workers
+	if lane == qos.LaneMiss {
+		queued, workers = len(e.jobsMiss), e.cfg.MissWorkers
+	}
+	return qos.RetryAfter(queued, workers, e.estServe[lane].Estimate())
+}
+
+// canonicalize is the classification half of Submit, with the same
+// panic containment processInner used to provide (a nil Query panics
+// inside query.Canonicalize).
+func canonicalize(req Request) (c *query.Canonical, err error) {
+	defer guard.Recover(&err)
+	c, err = query.Canonicalize(req.Query, req.DCs)
+	if err != nil {
+		err = guard.Invalidf("engine: %v", err)
+	}
+	return c, err
+}
+
+// classify picks the admission lane: LaneHit when a live cached plan
+// exists (the request should only pay evaluation), LaneMiss otherwise.
+// Requests that already failed canonicalization take the hit lane —
+// they fail fast in a worker without burning a compile slot.
+func (e *Engine) classify(j *job) qos.Lane {
+	if j.canonErr != nil {
+		return qos.LaneHit
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cache.peek(j.canon.FP) != nil {
+		return qos.LaneHit
+	}
+	return qos.LaneMiss
+}
+
+// admit counts an accepted request.
+func (e *Engine) admit(lane qos.Lane) {
+	e.ledger.Admit(lane)
+	e.requests.Add(1)
+}
+
+// Submit classifies a request into an admission lane and enqueues it,
+// returning a channel that will receive exactly one Result. Under
+// ShedBlock (the default) submission blocks while the lane is full;
+// under ShedOnFull / ShedAdaptive a full lane rejects immediately with
+// a typed *guard.OverloadError carrying a retry-after hint. A canceled
+// context or a closed engine resolves the result immediately with an
+// error.
 func (e *Engine) Submit(ctx context.Context, req Request) <-chan Result {
 	out := make(chan Result, 1)
 	e.submitM.RLock()
@@ -186,13 +382,47 @@ func (e *Engine) Submit(ctx context.Context, req Request) <-chan Result {
 	closed := e.closed
 	e.mu.Unlock()
 	if closed {
+		if e.cfg.ShedPolicy != ShedBlock {
+			// A draining replica rejects new work as an overload ("retry
+			// elsewhere"), not as an input error.
+			e.ledger.Shed(qos.LaneMiss, qos.ShedDraining)
+			out <- Result{Err: qos.Overload(qos.LaneMiss, qos.ShedDraining, 0)}
+			return out
+		}
 		out <- Result{Err: fmt.Errorf("%w: engine is closed", guard.ErrInvalidInput)}
 		return out
 	}
+	j := &job{ctx: ctx, req: req, out: out}
+	j.canon, j.canonErr = canonicalize(req)
+	j.lane = e.classify(j)
+	jobs := e.jobsHit
+	if j.lane == qos.LaneMiss {
+		jobs = e.jobsMiss
+	}
+
+	if e.cfg.ShedPolicy == ShedBlock {
+		select {
+		case jobs <- j:
+			e.admit(j.lane)
+		case <-ctxDone(ctx):
+			out <- Result{Err: guard.Poll(ctx)}
+		}
+		return out
+	}
+
+	// Shedding policies never block the caller.
+	if e.cfg.ShedPolicy == ShedAdaptive &&
+		qos.PriorityOf(ctx) < qos.PriorityNormal && e.level() >= qos.LevelCritical {
+		e.ledger.Shed(j.lane, qos.ShedPriority)
+		out <- Result{Err: qos.Overload(j.lane, qos.ShedPriority, e.retryAfter(j.lane))}
+		return out
+	}
 	select {
-	case e.jobs <- &job{ctx: ctx, req: req, out: out}:
-	case <-ctxDone(ctx):
-		out <- Result{Err: guard.Poll(ctx)}
+	case jobs <- j:
+		e.admit(j.lane)
+	default:
+		e.ledger.Shed(j.lane, qos.ShedQueueFull)
+		out <- Result{Err: qos.Overload(j.lane, qos.ShedQueueFull, e.retryAfter(j.lane))}
 	}
 	return out
 }
@@ -223,24 +453,39 @@ func (e *Engine) ServeBatch(ctx context.Context, reqs []Request) []Result {
 	return out
 }
 
-// Close stops accepting requests, drains queued ones, and waits for the
-// workers to finish. Safe to call more than once.
+// Close stops accepting requests, drains queued ones, waits for the
+// workers, then cancels and waits for any detached compiles nobody is
+// left to consume. Safe to call more than once, including concurrently
+// with itself and with Serve/Submit.
 func (e *Engine) Close() error {
-	e.mu.Lock()
-	if e.closed {
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.closed = true
 		e.mu.Unlock()
-		e.wg.Wait()
-		return nil
-	}
-	e.closed = true
-	e.mu.Unlock()
-	// Take the write half so no Submit is mid-send, then close the
-	// queue: workers drain what was accepted and exit.
-	e.submitM.Lock()
-	close(e.jobs)
-	e.submitM.Unlock()
+		// Take the write half so no Submit is mid-send, then close the
+		// lanes: workers drain what was accepted and exit.
+		e.submitM.Lock()
+		close(e.jobsHit)
+		close(e.jobsMiss)
+		e.submitM.Unlock()
+	})
 	e.wg.Wait()
+	e.lifeCancel()
+	e.compileWG.Wait()
 	return nil
+}
+
+// Shutdown is Close bounded by ctx: when ctx expires the engine-scoped
+// compile context is canceled, so queued requests drain promptly with
+// typed errors instead of waiting out arbitrarily long compiles.
+// Callers still own their request contexts; Shutdown only bounds
+// engine-owned work.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	if ctx != nil {
+		stop := context.AfterFunc(ctx, e.lifeCancel)
+		defer stop()
+	}
+	return e.Close()
 }
 
 // Metrics returns a snapshot of the engine's counters.
@@ -267,10 +512,49 @@ func (e *Engine) Metrics() Metrics {
 	}
 }
 
-// process runs one request: canonicalize, fetch-or-compile the plan,
-// validate the database, evaluate through the tiers, and rename the
-// output back to the request's variable names.
-func (e *Engine) process(ctx context.Context, req Request) (res Result) {
+// QoS returns the admission/degradation snapshot: ledger counters, live
+// lane gauges, the current ladder level, and the recent eval p95.
+func (e *Engine) QoS() qos.Snapshot {
+	s := e.ledger.Snapshot()
+	s.Lanes = []qos.LaneStats{
+		{Lane: qos.LaneHit.String(), Queued: len(e.jobsHit), Depth: cap(e.jobsHit),
+			Workers: e.cfg.Workers, InFlight: int(e.laneInFlight[qos.LaneHit].Load())},
+		{Lane: qos.LaneMiss.String(), Queued: len(e.jobsMiss), Depth: cap(e.jobsMiss),
+			Workers: e.cfg.MissWorkers, InFlight: int(e.laneInFlight[qos.LaneMiss].Load())},
+	}
+	s.Level = e.level()
+	s.EvalP95 = e.evalLat.snapshot().Quantile(0.95)
+	return s
+}
+
+// requeue moves a hit-classified job whose plan vanished onto the miss
+// lane, without blocking the hit worker. False when the miss lane is
+// full or the engine is closing — the caller sheds instead.
+func (e *Engine) requeue(j *job) bool {
+	e.submitM.RLock()
+	defer e.submitM.RUnlock()
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return false
+	}
+	j.lane = qos.LaneMiss
+	select {
+	case e.jobsMiss <- j:
+		e.ledger.Reroute()
+		return true
+	default:
+		return false
+	}
+}
+
+// process runs one request: fetch-or-compile the plan, validate the
+// database, evaluate through the tiers, and rename the output back to
+// the request's variable names. requeued means the job was re-queued
+// onto the miss lane and no result must be delivered yet.
+func (e *Engine) process(j *job) (res Result, requeued bool) {
+	ctx := j.ctx
 	// The serve span is declared first so its defer runs last, after the
 	// panic-recovery defers below have folded any failure into res.Err.
 	if e.cfg.Tracer != nil && obs.SpanFromContext(ctx) == nil {
@@ -279,6 +563,10 @@ func (e *Engine) process(ctx context.Context, req Request) (res Result) {
 	ctx, sp := obs.StartSpan(ctx, obs.StageServe)
 	defer func() {
 		sp.SetTag("fingerprint", res.Fingerprint.Short())
+		sp.SetTag("lane", j.lane.String())
+		if requeued {
+			sp.SetTag("reroute", "miss")
+		}
 		if res.CacheHit {
 			sp.SetTag("cache", "hit")
 		} else {
@@ -290,12 +578,20 @@ func (e *Engine) process(ctx context.Context, req Request) (res Result) {
 		sp.SetError(res.Err)
 		sp.End()
 	}()
-	e.requests.Add(1)
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
 	defer func() {
 		if res.Err != nil {
 			e.failed.Add(1)
+		}
+	}()
+	// Deadline accounting: stage tracks how far the request got before
+	// its wall clock ran out; the counter must fire after the fold below
+	// has finalized res.Err.
+	stage := qos.StageQueued
+	defer func() {
+		if qos.DeadlineExceeded(res.Err) {
+			e.ledger.Deadline(stage)
 		}
 	}()
 	// Defers run LIFO: Recover (below) fills err from a panic in
@@ -310,22 +606,32 @@ func (e *Engine) process(ctx context.Context, req Request) (res Result) {
 		}
 	}()
 	defer guard.Recover(&err)
-	res = e.processInner(ctx, req)
-	return res
+	res = e.processInner(ctx, j, &stage)
+	if errors.Is(res.Err, errReroute) {
+		if e.requeue(j) {
+			requeued = true
+			res = Result{Fingerprint: res.Fingerprint}
+		} else {
+			e.ledger.Shed(qos.LaneMiss, qos.ShedReroute)
+			res.Err = qos.Overload(qos.LaneMiss, qos.ShedReroute, e.retryAfter(qos.LaneMiss))
+		}
+	}
+	return res, requeued
 }
 
-func (e *Engine) processInner(ctx context.Context, req Request) Result {
+func (e *Engine) processInner(ctx context.Context, j *job, stage *qos.DeadlineStage) Result {
 	if err := guard.Poll(ctx); err != nil {
 		return Result{Err: err}
 	}
-	canon, err := query.Canonicalize(req.Query, req.DCs)
-	if err != nil {
-		return Result{Err: guard.Invalidf("engine: %v", err)}
+	if j.canonErr != nil {
+		return Result{Err: j.canonErr}
 	}
+	canon := j.canon
 	res := Result{Fingerprint: canon.FP}
 
+	*stage = qos.StageCompile
 	compileStart := time.Now()
-	ent, hit, err := e.plan(ctx, canon)
+	ent, hit, err := e.plan(ctx, canon, j.lane)
 	if err != nil {
 		res.Err = err
 		return res
@@ -335,13 +641,13 @@ func (e *Engine) processInner(ctx context.Context, req Request) Result {
 		res.CompileTime = time.Since(compileStart)
 	}
 
-	if err := query.ValidateDB(req.Query, req.DCs, req.DB); err != nil {
+	if err := query.ValidateDB(j.req.Query, j.req.DCs, j.req.DB); err != nil {
 		res.Err = err
 		return res
 	}
 
 	evalStart := time.Now()
-	out, tier, attempts, err := e.evaluate(ctx, ent, req)
+	out, tier, attempts, err := e.evaluate(ctx, ent, j.req, stage)
 	res.EvalTime = time.Since(evalStart)
 	res.Attempts = attempts
 	if err != nil {
@@ -359,21 +665,33 @@ func (e *Engine) processInner(ctx context.Context, req Request) Result {
 		e.servedRAM.Add(1)
 	}
 	if tier != TierRAM {
-		out = renameOutput(out, canon, req.Query)
+		out = renameOutput(out, canon, j.req.Query)
 	}
 	res.Output = out
 	return res
 }
 
 // plan returns the cached plan for the canonical pair, joining or
-// leading a compile flight on a miss. hit reports a cache hit (no
-// waiting on a compile). A follower whose leader fails transiently —
-// the *leader's* context was canceled or its budget ran out — does not
-// inherit that failure: it loops back to start or join a fresh flight
-// under its own, still-live context.
-func (e *Engine) plan(ctx context.Context, canon *query.Canonical) (*entry, bool, error) {
+// starting a compile flight on a miss. hit reports a cache hit (no
+// waiting on a compile). The compile itself runs detached, on an
+// engine-scoped context that inherits the requester's budget, tracer,
+// and fault injector but not its cancellation — so a follower whose
+// leader request dies does not lose the compile, and a leader whose own
+// context dies leaves the flight running for everyone else. A follower
+// whose flight fails transiently (the engine shutting down aside) loops
+// back to start or join a fresh flight under its own, still-live
+// context.
+//
+// A hit-lane request that finds no plan (evicted or expired since
+// classification) returns errReroute under shedding policies so the
+// worker re-queues it on the miss lane instead of occupying a hit slot
+// for a compile wait.
+func (e *Engine) plan(ctx context.Context, canon *query.Canonical, lane qos.Lane) (*entry, bool, error) {
 	first := true
 	for {
+		if e.lifeCtx.Err() != nil {
+			return nil, false, fmt.Errorf("%w: engine is shutting down", guard.ErrCanceled)
+		}
 		e.mu.Lock()
 		if ent := e.cache.get(canon.FP); ent != nil {
 			e.mu.Unlock()
@@ -381,6 +699,10 @@ func (e *Engine) plan(ctx context.Context, canon *query.Canonical) (*entry, bool
 				e.hits.Add(1)
 			}
 			return ent, first, nil
+		}
+		if first && lane == qos.LaneHit && e.cfg.ShedPolicy != ShedBlock {
+			e.mu.Unlock()
+			return nil, false, errReroute
 		}
 		if first {
 			first = false
@@ -390,20 +712,9 @@ func (e *Engine) plan(ctx context.Context, canon *query.Canonical) (*entry, bool
 		e.mu.Unlock()
 
 		if leader {
-			ent, err := e.compile(ctx, canon)
-			e.mu.Lock()
-			if err == nil && !ent.uncached {
-				if n := e.cache.add(ent); n > 0 {
-					e.evictions.Add(int64(n))
-				}
-			}
-			fl.ent, fl.err = ent, err
-			e.flights.leave(canon.FP)
-			e.mu.Unlock()
-			close(fl.done)
-			return ent, false, err
+			e.compileWG.Add(1)
+			go e.runFlight(fl, canon, ctx)
 		}
-
 		select {
 		case <-fl.done:
 			if transientErr(fl.err) {
@@ -414,14 +725,45 @@ func (e *Engine) plan(ctx context.Context, canon *query.Canonical) (*entry, bool
 			}
 			return fl.ent, false, fl.err
 		case <-ctxDone(ctx):
-			// The leader keeps compiling for everyone else.
+			// The flight keeps compiling for everyone else.
 			return nil, false, guard.Poll(ctx)
 		}
 	}
 }
 
-// transientErr reports whether a flight failure is tied to the leader's
-// request (its cancellation or budget) rather than to the query pair.
+// runFlight leads one compile flight to completion on the engine-scoped
+// context. reqCtx is only mined for values (budget, tracer, injector) —
+// its cancellation does not propagate.
+func (e *Engine) runFlight(fl *flight, canon *query.Canonical, reqCtx context.Context) {
+	defer e.compileWG.Done()
+	cctx := e.lifeCtx
+	if b := guard.FromContext(reqCtx); b != nil {
+		cctx = guard.WithBudget(cctx, b)
+	}
+	if in := faultinject.FromContext(reqCtx); in != nil {
+		cctx = faultinject.WithInjector(cctx, in)
+	}
+	// Compile spans nest under the leading request's serve span rather
+	// than surfacing as extra roots in the tracer ring.
+	if sp := obs.SpanFromContext(reqCtx); sp != nil {
+		cctx = obs.WithSpan(cctx, sp)
+	}
+	ent, err := e.compile(cctx, canon)
+	e.mu.Lock()
+	if err == nil && !ent.uncached {
+		if n := e.cache.add(ent); n > 0 {
+			e.evictions.Add(int64(n))
+		}
+	}
+	fl.ent, fl.err = ent, err
+	e.flights.leave(canon.FP)
+	e.mu.Unlock()
+	close(fl.done)
+}
+
+// transientErr reports whether a flight failure is tied to the leading
+// request (its budget) or the engine lifetime rather than to the query
+// pair.
 func transientErr(err error) bool {
 	return err != nil &&
 		(errors.Is(err, guard.ErrCanceled) || errors.Is(err, guard.ErrBudgetExceeded))
@@ -445,11 +787,18 @@ func (e *Engine) compile(ctx context.Context, canon *query.Canonical) (*entry, e
 		ent.gates = 1
 		return ent, nil
 	}
+	noOpt := e.cfg.NoOpt
+	if !noOpt && e.ladderOn() && e.level() >= qos.LevelPressure {
+		// Under pressure the raw construction is cheaper to produce and
+		// the cache charges its gate count honestly.
+		noOpt = true
+		e.ledger.Degrade(qos.DegradeNoOpt)
+	}
 	start := time.Now()
 	var compiled *core.Compiled
 	err := func() (err error) {
 		defer guard.Recover(&err)
-		compiled, err = core.CompileQueryOptsCtx(ctx, canon.Query, canon.DCs, core.CompileOptions{NoOpt: e.cfg.NoOpt})
+		compiled, err = core.CompileQueryOptsCtx(ctx, canon.Query, canon.DCs, core.CompileOptions{NoOpt: noOpt})
 		return err
 	}()
 	e.compiles.Add(1)
@@ -483,11 +832,42 @@ func (e *Engine) compile(ctx context.Context, canon *query.Canonical) (*entry, e
 	return ent, nil
 }
 
+// tierEst returns the duration estimator for a tier.
+func (e *Engine) tierEst(tier string) *qos.Estimator {
+	switch tier {
+	case TierOblivious:
+		return &e.estObliv
+	case TierRelational:
+		return &e.estRel
+	default:
+		return &e.estRAM
+	}
+}
+
+// stageFor maps a tier name onto its deadline-accounting stage.
+func stageFor(tier string) qos.DeadlineStage {
+	switch tier {
+	case TierOblivious:
+		return qos.StageOblivious
+	case TierRelational:
+		return qos.StageRelational
+	default:
+		return qos.StageRAM
+	}
+}
+
 // evaluate runs the tier ladder for one request. All tiers compute the
 // same Q(D), so a fault in a faster tier degrades the strategy, never
 // the answer. When the plan is RAM-only (sticky compile failure) the
 // ladder starts at the RAM tier, with the pinned reason recorded.
-func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request) (*relation.Relation, string, []TierAttempt, error) {
+//
+// Deadline propagation: with a deadline on ctx, each tier attempt is
+// budgeted its share of the remaining wall clock (qos.PlanTier), so a
+// stuck tier cannot eat the cheaper fallbacks' time, and a tier whose
+// estimated duration already exceeds its share is skipped outright.
+// Under critical load the ladder routes wide plans past the oblivious
+// tier entirely.
+func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request, stage *qos.DeadlineStage) (*relation.Relation, string, []TierAttempt, error) {
 	type tier struct {
 		name string
 		run  func(ctx context.Context) (*relation.Relation, error)
@@ -495,14 +875,23 @@ func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request) (*relati
 	var tiers []tier
 	var attempts []TierAttempt
 	if ent.compiled != nil {
+		wide := e.cfg.WideLevelThreshold > 0 && ent.wideLevel >= e.cfg.WideLevelThreshold
+		if wide && e.ladderOn() && e.level() >= qos.LevelCritical {
+			e.ledger.Degrade(qos.DegradeTierRoute)
+			attempts = append(attempts, TierAttempt{Tier: TierOblivious,
+				Err: fmt.Errorf("%w: engine: wide plan routed past the oblivious tier under critical load", guard.ErrOverloaded)})
+		} else {
+			tiers = append(tiers,
+				tier{TierOblivious, func(ctx context.Context) (out *relation.Relation, err error) {
+					defer guard.Recover(&err)
+					if wide {
+						return ent.compiled.EvaluateObliviousParallelCtx(ctx, req.DB, e.cfg.EvalWorkers)
+					}
+					return ent.compiled.EvaluateObliviousCtx(ctx, req.DB)
+				}},
+			)
+		}
 		tiers = append(tiers,
-			tier{TierOblivious, func(ctx context.Context) (out *relation.Relation, err error) {
-				defer guard.Recover(&err)
-				if e.cfg.WideLevelThreshold > 0 && ent.wideLevel >= e.cfg.WideLevelThreshold {
-					return ent.compiled.EvaluateObliviousParallelCtx(ctx, req.DB, e.cfg.EvalWorkers)
-				}
-				return ent.compiled.EvaluateObliviousCtx(ctx, req.DB)
-			}},
 			tier{TierRelational, func(ctx context.Context) (out *relation.Relation, err error) {
 				defer guard.Recover(&err)
 				return ent.compiled.EvaluateRelationalCtx(ctx, req.DB, false)
@@ -516,8 +905,19 @@ func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request) (*relati
 		return query.EvaluateCtx(ctx, req.Query, req.DB)
 	}})
 
-	for _, t := range tiers {
-		tierCtx, sp := obs.StartSpan(ctx, obs.StageTier+t.name)
+	for i, t := range tiers {
+		if stage != nil {
+			*stage = stageFor(t.name)
+		}
+		tctx, cancel, skip, reason := qos.PlanTier(ctx, len(tiers)-i, e.tierEst(t.name).Estimate())
+		if skip {
+			cancel()
+			e.ledger.Degrade(qos.DegradeTierSkip)
+			attempts = append(attempts, TierAttempt{Tier: t.name, Err: reason})
+			continue
+		}
+		start := time.Now()
+		tierCtx, sp := obs.StartSpan(tctx, obs.StageTier+t.name)
 		obs.Tiers.Attempt(t.name)
 		out, err := t.run(tierCtx)
 		if err == nil && out != nil {
@@ -525,12 +925,16 @@ func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request) (*relati
 		}
 		sp.SetError(err)
 		sp.End()
+		cancel()
 		attempts = append(attempts, TierAttempt{Tier: t.name, Err: err})
 		if err == nil {
+			e.tierEst(t.name).Observe(time.Since(start))
 			obs.Tiers.Serve(t.name, len(attempts) > 1)
 			return out, t.name, attempts, nil
 		}
 		if ctx != nil && ctx.Err() != nil {
+			// The request's own clock ran out (a tier burning only its
+			// share falls through to the next tier instead).
 			return nil, "", attempts, err
 		}
 	}

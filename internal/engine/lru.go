@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/list"
+	"time"
 
 	"circuitql/internal/core"
 	"circuitql/internal/query"
@@ -24,36 +25,73 @@ type entry struct {
 	uncached   bool  // never insert into the plan cache
 	gates      int64 // cost charged against Config.MaxCacheGates
 	wideLevel  int   // widest oblivious circuit level, for routing
-	elem       *list.Element
+	// expires, when non-zero, is when this negative entry stops being
+	// served and the shape is recompiled: a sticky failure is a
+	// diagnosis worth remembering, not a life sentence.
+	expires time.Time
+	elem    *list.Element
 }
 
 // planCache is a cost-aware LRU: entries are charged by gate count
 // (Stats() of the compiled plan), so one enormous circuit displaces many
-// small ones. Not self-locking — the engine's mutex guards all calls.
+// small ones. Negative entries (sticky compile failures) additionally
+// expire after negTTL, so a shape misclassified by a transient condition
+// heals. Not self-locking — the engine's mutex guards all calls.
 type planCache struct {
 	maxGates int64
 	maxPlans int
+	negTTL   time.Duration // 0: negative entries never expire
+	now      func() time.Time
 	entries  map[query.Fingerprint]*entry
 	order    *list.List // front = most recently used
 	gates    int64
 }
 
-func newPlanCache(maxGates int64, maxPlans int) *planCache {
+func newPlanCache(maxGates int64, maxPlans int, negTTL time.Duration) *planCache {
 	return &planCache{
 		maxGates: maxGates,
 		maxPlans: maxPlans,
+		negTTL:   negTTL,
+		now:      time.Now,
 		entries:  map[query.Fingerprint]*entry{},
 		order:    list.New(),
 	}
 }
 
-// get returns the entry and marks it most recently used.
+// expired reports whether a negative entry's TTL has lapsed.
+func (c *planCache) expired(e *entry) bool {
+	return !e.expires.IsZero() && c.now().After(e.expires)
+}
+
+// remove drops an entry from the cache.
+func (c *planCache) remove(e *entry) {
+	c.order.Remove(e.elem)
+	delete(c.entries, e.fp)
+	c.gates -= e.gates
+}
+
+// get returns the entry and marks it most recently used. An expired
+// negative entry is dropped and reported as a miss, forcing a
+// recompile.
 func (c *planCache) get(fp query.Fingerprint) *entry {
 	e, ok := c.entries[fp]
 	if !ok {
 		return nil
 	}
+	if c.expired(e) {
+		c.remove(e)
+		return nil
+	}
 	c.order.MoveToFront(e.elem)
+	return e
+}
+
+// peek is get without the recency bump, for admission classification.
+func (c *planCache) peek(fp query.Fingerprint) *entry {
+	e, ok := c.entries[fp]
+	if !ok || c.expired(e) {
+		return nil
+	}
 	return e
 }
 
@@ -67,6 +105,9 @@ func (c *planCache) add(e *entry) (evicted int) {
 		// Lost a benign race (flight cleared, recompiled): keep the old.
 		c.order.MoveToFront(old.elem)
 		return 0
+	}
+	if e.compileErr != nil && c.negTTL > 0 {
+		e.expires = c.now().Add(c.negTTL)
 	}
 	e.elem = c.order.PushFront(e)
 	c.entries[e.fp] = e

@@ -19,11 +19,16 @@
 //     intermediate-relation rows;
 //   - ErrInvalidInput: the caller handed in something malformed (bad
 //     query, mismatched schema, non-conforming database);
+//   - ErrOverloaded: the serving layer shed the request under load
+//     instead of queueing it unboundedly; the wrapping *OverloadError
+//     carries a retry-after hint;
 //   - ErrInternal: a bug in this library, recovered from a panic with the
 //     payload preserved.
 //
-// All errors returned by the library match exactly one of these four
-// via errors.Is.
+// All errors returned by the library match exactly one of these five
+// via errors.Is. Deadline failures additionally match
+// context.DeadlineExceeded, so callers can distinguish "out of wall
+// clock" from the other budget trips without string matching.
 package guard
 
 import (
@@ -32,6 +37,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync/atomic"
+	"time"
 )
 
 // Sentinel errors of the taxonomy. Match with errors.Is.
@@ -39,8 +45,36 @@ var (
 	ErrBudgetExceeded = errors.New("resource budget exceeded")
 	ErrCanceled       = errors.New("canceled")
 	ErrInvalidInput   = errors.New("invalid input")
+	ErrOverloaded     = errors.New("overloaded")
 	ErrInternal       = errors.New("internal error")
 )
+
+// OverloadError is a request shed by admission control: the serving
+// layer was saturated and rejected the work instead of queueing it. It
+// matches ErrOverloaded via errors.Is. RetryAfter is a best-effort hint
+// for when the shed lane is expected to have capacity again; zero means
+// no estimate.
+type OverloadError struct {
+	// Lane names the admission lane that shed the request ("hit",
+	// "miss", ...).
+	Lane string
+	// Reason says why ("queue_full", "priority", ...).
+	Reason string
+	// RetryAfter estimates when retrying is worthwhile (0: unknown).
+	RetryAfter time.Duration
+}
+
+// Error describes the shed decision.
+func (e *OverloadError) Error() string {
+	s := fmt.Sprintf("overloaded: %s lane shed request (%s)", e.Lane, e.Reason)
+	if e.RetryAfter > 0 {
+		s += fmt.Sprintf(", retry after %v", e.RetryAfter)
+	}
+	return s
+}
+
+// Unwrap ties OverloadError into the taxonomy.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // Budget is a set of resource caps for one compilation or evaluation.
 // The zero value (and a nil *Budget) means unlimited; the wall-clock
@@ -81,7 +115,11 @@ func Poll(ctx context.Context) error {
 	case err == nil:
 		return nil
 	case errors.Is(err, context.DeadlineExceeded):
-		return fmt.Errorf("%w: wall-clock deadline: %v", ErrBudgetExceeded, err)
+		// Both sentinels are wrapped so the failure classifies as a
+		// budget trip (wall clock is a budget) and as a deadline
+		// (errors.Is(err, context.DeadlineExceeded)) for deadline-aware
+		// serving layers.
+		return fmt.Errorf("%w: wall-clock deadline: %w", ErrBudgetExceeded, err)
 	default:
 		return fmt.Errorf("%w: %v", ErrCanceled, err)
 	}
@@ -187,7 +225,8 @@ func Recover(errp *error) {
 	}
 	if err, ok := r.(error); ok {
 		if errors.Is(err, ErrInvalidInput) || errors.Is(err, ErrBudgetExceeded) ||
-			errors.Is(err, ErrCanceled) || errors.Is(err, ErrInternal) {
+			errors.Is(err, ErrCanceled) || errors.Is(err, ErrOverloaded) ||
+			errors.Is(err, ErrInternal) {
 			*errp = err
 			return
 		}

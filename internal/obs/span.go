@@ -229,6 +229,18 @@ func SpanFromContext(ctx context.Context) *Span {
 	return s
 }
 
+// WithSpan attaches an existing span to ctx as the parent of subsequent
+// StartSpan calls. This is for work that continues on a detached
+// context — e.g. a compile flight that outlives its leader's
+// cancellation — but should still nest under the originating request's
+// tree instead of surfacing as an extra root.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if ctx == nil || s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
 // StartSpan begins a span named name under the context's current span
 // (or as a new root when the context carries a Tracer but no span) and
 // returns a derived context carrying it. When the context carries

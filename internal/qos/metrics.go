@@ -1,0 +1,271 @@
+package qos
+
+import (
+	"sync/atomic"
+	"time"
+
+	"circuitql/internal/obs"
+)
+
+// ShedReason says why admission rejected a request.
+type ShedReason int
+
+// Shed reasons.
+const (
+	// ShedQueueFull: the classified lane's queue was at capacity.
+	ShedQueueFull ShedReason = iota
+	// ShedPriority: the degradation ladder was at LevelCritical and the
+	// request's priority was below normal.
+	ShedPriority
+	// ShedReroute: a hit-classified request turned out to need a
+	// compile (its plan was evicted or expired between classification
+	// and processing) and the miss lane was full.
+	ShedReroute
+	// ShedDraining: the engine was shutting down. Under a shedding
+	// policy a draining replica rejects new work with a typed overload
+	// error — "retry elsewhere" — rather than an input error.
+	ShedDraining
+	numShedReasons
+)
+
+// String names the reason for labels.
+func (r ShedReason) String() string {
+	switch r {
+	case ShedQueueFull:
+		return "queue_full"
+	case ShedPriority:
+		return "priority"
+	case ShedReroute:
+		return "reroute"
+	case ShedDraining:
+		return "draining"
+	}
+	return "unknown"
+}
+
+// DeadlineStage says where a request's deadline expired.
+type DeadlineStage int
+
+// Deadline stages, in request order.
+const (
+	// StageQueued: the deadline expired before a worker picked the
+	// request up.
+	StageQueued DeadlineStage = iota
+	// StageCompile: it expired while waiting on (or leading) a compile
+	// flight.
+	StageCompile
+	// StageOblivious / StageRelational / StageRAM: it expired during
+	// that tier's evaluation.
+	StageOblivious
+	StageRelational
+	StageRAM
+	numDeadlineStages
+)
+
+// String names the stage for labels.
+func (s DeadlineStage) String() string {
+	switch s {
+	case StageQueued:
+		return "queued"
+	case StageCompile:
+		return "compile"
+	case StageOblivious:
+		return "oblivious"
+	case StageRelational:
+		return "relational"
+	case StageRAM:
+		return "ram"
+	}
+	return "unknown"
+}
+
+// DegradeAction is one measure of the degradation ladder.
+type DegradeAction int
+
+// Degradation actions.
+const (
+	// DegradeNoOpt: a new compile skipped the optimizer passes.
+	DegradeNoOpt DegradeAction = iota
+	// DegradeTierRoute: a wide plan was routed past the oblivious tier
+	// under critical load.
+	DegradeTierRoute
+	// DegradeTierSkip: a tier was skipped because its estimated
+	// duration exceeded its share of the request's deadline.
+	DegradeTierSkip
+	numDegradeActions
+)
+
+// String names the action for labels.
+func (a DegradeAction) String() string {
+	switch a {
+	case DegradeNoOpt:
+		return "noopt"
+	case DegradeTierRoute:
+		return "tier_route"
+	case DegradeTierSkip:
+		return "tier_skip"
+	}
+	return "unknown"
+}
+
+// Ledger counts admission and degradation decisions, lock-free. Every
+// request is counted exactly once as admitted or shed at submission;
+// reroutes and per-stage deadline failures are counted as they happen,
+// so the exposed counters reconcile exactly with client-observed
+// outcomes (the soak harness asserts this).
+type Ledger struct {
+	admitted [NumLanes]atomic.Int64
+	shed     [NumLanes][numShedReasons]atomic.Int64
+	rerouted atomic.Int64
+	deadline [numDeadlineStages]atomic.Int64
+	degraded [numDegradeActions]atomic.Int64
+}
+
+// Admit counts one request entering lane's queue.
+func (l *Ledger) Admit(lane Lane) { l.admitted[lane].Add(1) }
+
+// Shed counts one request rejected from lane for reason.
+func (l *Ledger) Shed(lane Lane, reason ShedReason) { l.shed[lane][reason].Add(1) }
+
+// Reroute counts one hit-classified request re-queued onto the miss
+// lane after its plan disappeared.
+func (l *Ledger) Reroute() { l.rerouted.Add(1) }
+
+// Deadline counts one request whose deadline expired at stage.
+func (l *Ledger) Deadline(stage DeadlineStage) { l.deadline[stage].Add(1) }
+
+// Degrade counts one degradation measure taken.
+func (l *Ledger) Degrade(action DegradeAction) { l.degraded[action].Add(1) }
+
+// LaneStats is a point-in-time gauge set for one admission lane.
+type LaneStats struct {
+	Lane     string
+	Queued   int // requests waiting in the lane queue
+	Depth    int // queue capacity
+	Workers  int // lane concurrency cap
+	InFlight int // requests currently being processed by lane workers
+}
+
+// Snapshot is a consistent copy of the ledger plus live lane gauges and
+// the current degradation level, ready for exposition.
+type Snapshot struct {
+	Admitted map[string]int64            // by lane
+	Shed     map[string]map[string]int64 // by lane, then reason
+	Rerouted int64
+	Deadline map[string]int64 // by stage
+	Degraded map[string]int64 // by action
+	Lanes    []LaneStats
+	Level    Level
+	EvalP95  time.Duration
+}
+
+// TotalShed sums shed counts across lanes and reasons.
+func (s Snapshot) TotalShed() int64 {
+	var n int64
+	for _, by := range s.Shed {
+		for _, v := range by {
+			n += v
+		}
+	}
+	return n
+}
+
+// TotalAdmitted sums admissions across lanes.
+func (s Snapshot) TotalAdmitted() int64 {
+	var n int64
+	for _, v := range s.Admitted {
+		n += v
+	}
+	return n
+}
+
+// TotalDeadline sums deadline failures across stages.
+func (s Snapshot) TotalDeadline() int64 {
+	var n int64
+	for _, v := range s.Deadline {
+		n += v
+	}
+	return n
+}
+
+// Snapshot copies the counters. Lanes, Level, and EvalP95 are the
+// caller's to fill (the engine owns those gauges).
+func (l *Ledger) Snapshot() Snapshot {
+	s := Snapshot{
+		Admitted: make(map[string]int64, NumLanes),
+		Shed:     make(map[string]map[string]int64, NumLanes),
+		Deadline: make(map[string]int64, numDeadlineStages),
+		Degraded: make(map[string]int64, numDegradeActions),
+		Rerouted: l.rerouted.Load(),
+	}
+	for lane := Lane(0); lane < NumLanes; lane++ {
+		s.Admitted[lane.String()] = l.admitted[lane].Load()
+		by := make(map[string]int64, numShedReasons)
+		for r := ShedReason(0); r < numShedReasons; r++ {
+			by[r.String()] = l.shed[lane][r].Load()
+		}
+		s.Shed[lane.String()] = by
+	}
+	for st := DeadlineStage(0); st < numDeadlineStages; st++ {
+		s.Deadline[st.String()] = l.deadline[st].Load()
+	}
+	for a := DegradeAction(0); a < numDegradeActions; a++ {
+		s.Degraded[a.String()] = l.degraded[a].Load()
+	}
+	return s
+}
+
+// Families renders the snapshot as metric families for an
+// obs.Registry:
+//
+//	reg.Register(func() []obs.Family { return eng.QoS().Families() })
+func (s Snapshot) Families() []obs.Family {
+	admitted := obs.Family{Name: "circuitql_qos_admitted_total",
+		Help: "Requests admitted to an admission lane.", Type: obs.TypeCounter}
+	shed := obs.Family{Name: "circuitql_qos_shed_total",
+		Help: "Requests shed by admission control, by lane and reason.", Type: obs.TypeCounter}
+	deadline := obs.Family{Name: "circuitql_qos_deadline_exceeded_total",
+		Help: "Requests whose deadline expired, by pipeline stage.", Type: obs.TypeCounter}
+	degraded := obs.Family{Name: "circuitql_qos_degraded_total",
+		Help: "Degradation-ladder measures taken, by action.", Type: obs.TypeCounter}
+	rerouted := obs.Family{Name: "circuitql_qos_rerouted_total",
+		Help: "Hit-classified requests re-queued onto the miss lane.", Type: obs.TypeCounter,
+		Samples: []obs.Sample{{Value: float64(s.Rerouted)}}}
+	queue := obs.Family{Name: "circuitql_qos_lane_queue", Help: "Requests queued per admission lane.", Type: obs.TypeGauge}
+	depth := obs.Family{Name: "circuitql_qos_lane_queue_capacity", Help: "Queue capacity per admission lane.", Type: obs.TypeGauge}
+	inflight := obs.Family{Name: "circuitql_qos_lane_in_flight", Help: "Requests being processed per admission lane.", Type: obs.TypeGauge}
+	level := obs.Family{Name: "circuitql_qos_degradation_level",
+		Help: "Current degradation-ladder level (0 normal, 1 pressure, 2 critical).", Type: obs.TypeGauge,
+		Samples: []obs.Sample{{Value: float64(s.Level)}}}
+
+	for lane := Lane(0); lane < NumLanes; lane++ {
+		name := lane.String()
+		lbl := []obs.Label{{Name: "lane", Value: name}}
+		admitted.Samples = append(admitted.Samples, obs.Sample{Labels: lbl, Value: float64(s.Admitted[name])})
+		for r := ShedReason(0); r < numShedReasons; r++ {
+			shed.Samples = append(shed.Samples, obs.Sample{
+				Labels: []obs.Label{{Name: "lane", Value: name}, {Name: "reason", Value: r.String()}},
+				Value:  float64(s.Shed[name][r.String()]),
+			})
+		}
+	}
+	for st := DeadlineStage(0); st < numDeadlineStages; st++ {
+		deadline.Samples = append(deadline.Samples, obs.Sample{
+			Labels: []obs.Label{{Name: "stage", Value: st.String()}},
+			Value:  float64(s.Deadline[st.String()]),
+		})
+	}
+	for a := DegradeAction(0); a < numDegradeActions; a++ {
+		degraded.Samples = append(degraded.Samples, obs.Sample{
+			Labels: []obs.Label{{Name: "action", Value: a.String()}},
+			Value:  float64(s.Degraded[a.String()]),
+		})
+	}
+	for _, ls := range s.Lanes {
+		lbl := []obs.Label{{Name: "lane", Value: ls.Lane}}
+		queue.Samples = append(queue.Samples, obs.Sample{Labels: lbl, Value: float64(ls.Queued)})
+		depth.Samples = append(depth.Samples, obs.Sample{Labels: lbl, Value: float64(ls.Depth)})
+		inflight.Samples = append(inflight.Samples, obs.Sample{Labels: lbl, Value: float64(ls.InFlight)})
+	}
+	return []obs.Family{admitted, shed, rerouted, deadline, degraded, queue, depth, inflight, level}
+}

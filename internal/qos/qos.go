@@ -1,0 +1,118 @@
+// Package qos is the overload-protection policy layer of the serving
+// engine: admission lanes, a degradation ladder, deadline budgets for
+// the tier ladder, and the counters that make shed/degrade decisions
+// auditable.
+//
+// The engine's tiered evaluator (oblivious → relational → RAM) trades
+// answer cost for representation power, exactly the lever a saturated
+// server needs: under pressure the system should *choose* a cheaper
+// tier or shed low-value work with a typed error, never block every
+// cached hit behind one expensive PANDA compile. This package holds the
+// policy half of that machinery — classification, thresholds, deadline
+// arithmetic, counters — while internal/engine owns the mechanism
+// (queues, worker pools, the plan cache).
+//
+// Design points:
+//
+//   - Requests are classed into two admission lanes by expected cost:
+//     LaneHit (a cached plan exists — microseconds of evaluation) and
+//     LaneMiss (a compile is needed or in flight — milliseconds to
+//     minutes). Each lane has its own queue depth and concurrency cap,
+//     so a burst of expensive misses cannot starve cached hits.
+//   - When a lane is full the request is shed with a typed
+//     *guard.OverloadError carrying a retry-after hint, rather than
+//     queued unboundedly or blocked indefinitely.
+//   - Deadlines propagate as per-tier shares: a request with t
+//     remaining and k tiers left gives the next tier t/k, so a request
+//     near its deadline skips straight to a cheaper tier instead of
+//     timing out mid-oblivious-eval.
+//   - A load-aware Policy maps queue depths, in-flight counts, and
+//     recent p95 latency onto degradation levels that disable the
+//     optimizer for new compiles, route wide plans past the oblivious
+//     tier, and shed the lowest-priority work first.
+package qos
+
+import (
+	"context"
+	"time"
+
+	"circuitql/internal/guard"
+)
+
+// Lane classifies a request by expected cost.
+type Lane int
+
+// Admission lanes, cheap first.
+const (
+	// LaneHit: a cached plan is expected; the request should only pay
+	// evaluation.
+	LaneHit Lane = iota
+	// LaneMiss: a compile (or a wait on someone else's compile) is
+	// expected.
+	LaneMiss
+	// NumLanes sizes per-lane arrays.
+	NumLanes
+)
+
+// String names the lane for labels and error messages.
+func (l Lane) String() string {
+	switch l {
+	case LaneHit:
+		return "hit"
+	case LaneMiss:
+		return "miss"
+	}
+	return "unknown"
+}
+
+// Priority orders requests for shedding: under heavy load the lowest
+// priorities are rejected first. The zero value is PriorityNormal.
+type Priority int
+
+// Priorities, shed lowest first.
+const (
+	PriorityLow    Priority = -1
+	PriorityNormal Priority = 0
+	PriorityHigh   Priority = 1
+)
+
+type priorityKey struct{}
+
+// WithPriority attaches a scheduling priority to the context; admission
+// control sheds lower priorities first under pressure.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return context.WithValue(ctx, priorityKey{}, p)
+}
+
+// PriorityOf returns the context's priority (PriorityNormal when unset
+// or ctx is nil).
+func PriorityOf(ctx context.Context) Priority {
+	if ctx == nil {
+		return PriorityNormal
+	}
+	p, _ := ctx.Value(priorityKey{}).(Priority)
+	return p
+}
+
+// Overload builds the typed shed error for a lane, reason, and
+// retry-after hint.
+func Overload(lane Lane, reason ShedReason, retryAfter time.Duration) error {
+	return &guard.OverloadError{Lane: lane.String(), Reason: reason.String(), RetryAfter: retryAfter}
+}
+
+// RetryAfter estimates when a shed lane is likely to have capacity
+// again: the queued work ahead divided by the lane's service rate, with
+// a floor of one mean service time. Zero when no estimate is possible.
+func RetryAfter(queued, workers int, meanService time.Duration) time.Duration {
+	if meanService <= 0 || workers <= 0 {
+		return 0
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	est := meanService * time.Duration(queued) / time.Duration(workers)
+	if est < meanService {
+		est = meanService
+	}
+	return est
+}

@@ -25,6 +25,7 @@ import (
 	"circuitql/internal/ghd"
 	"circuitql/internal/guard"
 	"circuitql/internal/obs"
+	"circuitql/internal/qos"
 	"circuitql/internal/query"
 	"circuitql/internal/yannakakis"
 )
@@ -55,7 +56,16 @@ var (
 	// ErrInternal: an internal invariant broke; the panic payload is
 	// preserved on the wrapping *guard.InternalError.
 	ErrInternal = guard.ErrInternal
+	// ErrOverloaded: the serving engine shed the request at admission
+	// (queue full or low priority under load). The wrapping
+	// *OverloadError carries the lane, reason, and a retry-after hint.
+	ErrOverloaded = guard.ErrOverloaded
 )
+
+// OverloadError is the typed shed failure: which lane rejected the
+// request, why, and how long the caller should back off. Retrieve with
+// errors.As; it matches ErrOverloaded under errors.Is.
+type OverloadError = guard.OverloadError
 
 // CompileCtx is Compile under a context: the exact LPs, the
 // proof-sequence search, and both circuit-construction layers poll ctx
@@ -229,6 +239,11 @@ func (r *TierReport) String() string {
 // past its deadline) later tiers are skipped — they would fail the
 // same way — and the first error is returned.
 //
+// With a deadline on ctx, each non-final tier runs under its share of
+// the remaining wall clock (remaining ÷ tiers left), so a stuck faster
+// tier exhausts only its slice and the cheaper fallbacks still get
+// their turn; the last tier runs under the request context itself.
+//
 // Every attempt and serve is also recorded on the process-wide tier
 // ledger (and, when ctx carries an obs tracer, as a tier/<name> span),
 // so the /metrics tier counters agree with the returned TierReport no
@@ -259,9 +274,13 @@ func (c *CompiledQuery) EvaluateResilient(ctx context.Context, db Database) (*Re
 		}},
 	}
 	for i, t := range tiers {
-		tierCtx, sp := obs.StartSpan(ctx, obs.StageTier+t.name)
+		// Estimate 0: the facade has no latency history, so shares bound
+		// tier attempts but never skip one outright.
+		tctx, cancel, _, _ := qos.PlanTier(ctx, len(tiers)-i, 0)
+		tierCtx, sp := obs.StartSpan(tctx, obs.StageTier+t.name)
 		obs.Tiers.Attempt(t.name)
 		out, err := t.run(tierCtx)
+		cancel()
 		if err == nil && out != nil {
 			sp.AddInt(obs.CounterRows, int64(out.Len()))
 		}

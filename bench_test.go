@@ -590,6 +590,98 @@ func BenchmarkEngineCachedVsCold(b *testing.B) {
 	})
 }
 
+// BenchmarkBatchEval measures the vectorized batch evaluator across
+// queries and batch sizes. The headline metric is ns/req — wall time
+// per EvalBatch call divided across the batch — which is what the
+// engine's request coalescing amortizes; ns/op is the whole-batch
+// latency a coalesced caller observes. The ISSUE acceptance bar is
+// ≥10× amortized throughput vs single-request interpreted evaluation
+// at batch 64 (see BenchmarkVMvsInterp for the interpreted side).
+func BenchmarkBatchEval(b *testing.B) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		q    *query.Query
+	}{
+		{"triangle", query.Triangle()},
+		{"path3", query.Path3()},
+		{"cycle4", query.Cycle4()},
+	} {
+		const n = 12
+		db := workload.ForQuery(tc.q, 1, n)
+		dcs, err := query.DeriveDC(tc.q, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cq, err := Compile(tc.q, dcs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := cq.CompileVM(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, size := range []int{1, 16, 64} {
+			dbs := make([]Database, size)
+			for i := range dbs {
+				dbs[i] = db
+			}
+			b.Run(fmt.Sprintf("%s/batch=%d", tc.name, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := prog.EvalBatch(ctx, dbs); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/req")
+			})
+		}
+	}
+}
+
+// BenchmarkVMvsInterp pits single-request interpreted evaluation
+// (pack, gate-by-gate walk, decode) against the vectorized program at
+// batch 64 on the same query and database. Divide interp-single's
+// ns/op by vm/batch=64's ns/req for the amortization factor the batch
+// path buys.
+func BenchmarkVMvsInterp(b *testing.B) {
+	ctx := context.Background()
+	q := query.Triangle()
+	const n = 12
+	db := workload.ForQuery(q, 1, n)
+	dcs, err := query.DeriveDC(q, db)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cq, err := Compile(q, dcs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("interp-single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cq.Evaluate(db); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vm/batch=64", func(b *testing.B) {
+		prog, err := cq.CompileVM(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dbs := make([]Database, 64)
+		for i := range dbs {
+			dbs[i] = db
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := prog.EvalBatch(ctx, dbs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*64), "ns/req")
+	})
+}
+
 // BenchmarkObliviousEvaluation measures actual circuit evaluation
 // throughput (the simulated "hardware" run).
 func BenchmarkObliviousEvaluation(b *testing.B) {

@@ -43,6 +43,7 @@ func main() {
 		dir   = flag.String("data", "", "directory of <RelationName>.csv files (overrides -workload)")
 		trace = flag.Bool("trace", false, "print the span tree of the compile and each evaluation")
 		noOpt = flag.Bool("no-opt", false, "skip the circuit optimizer (evaluate the raw constructions)")
+		batch = flag.Int("batch", 0, "replicate the database N ways through the vectorized batch evaluator and report per-request vs amortized ns/op")
 	)
 	flag.Parse()
 
@@ -135,6 +136,45 @@ func main() {
 		}
 	}
 	fmt.Printf("verified against reference evaluation ✓ (|Q(D)| = %d)\n", want.Len())
+
+	if *batch > 0 {
+		prog, err := cq.CompileVM(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nvm program: %d gates -> %d instructions, %d levels, %d slots/lane\n",
+			prog.Gates(), prog.Instructions(), prog.Levels(), prog.Slots())
+
+		// Single-request baseline through the interpreted oblivious
+		// circuit — the path a non-batched serve pays per request.
+		start = time.Now()
+		if _, err := cq.EvaluateCtx(ctx, db); err != nil {
+			log.Fatal(err)
+		}
+		single := time.Since(start)
+
+		// The same database replicated *batch ways, evaluated in one
+		// lock-step pass: total wall clock divides across the batch.
+		dbs := make([]circuitql.Database, *batch)
+		for i := range dbs {
+			dbs[i] = db
+		}
+		start = time.Now()
+		outs, err := prog.EvalBatch(ctx, dbs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		batched := time.Since(start)
+		for i, out := range outs {
+			if !out.Equal(want) {
+				log.Fatalf("batch lane %d DIFFERS from reference", i)
+			}
+		}
+		amortized := batched / time.Duration(*batch)
+		fmt.Printf("single-request interpreted eval: %v\n", single)
+		fmt.Printf("batch of %d vectorized:          %v total, %v amortized per request (%.1fx)\n",
+			*batch, batched, amortized, float64(single)/float64(amortized))
+	}
 
 	if tracer != nil {
 		fmt.Printf("\ntrace (%d spans, oldest first):\n", len(tracer.Last(0)))

@@ -68,8 +68,10 @@ func diffCompile(t *testing.T, name string, q *Query, noOpt bool) *CompiledQuery
 //
 // Full queries compile once per query (raw and optimized) against the
 // uniform cardinality bound, then evaluate on each seeded database:
-// RAM, relational (bound-checked), oblivious, optimized relational,
-// optimized oblivious — five answers that must agree exactly.
+// RAM, relational (bound-checked), oblivious, vectorized (vm),
+// optimized relational, optimized oblivious, and optimized vectorized —
+// seven answers that must agree exactly, plus one multi-database vm
+// batch over all seeds whose lanes must match lane-for-lane.
 // Queries marked diffViaOutputSensitive and non-full queries run the
 // output-sensitive pipeline against RAM, and the Boolean query runs its
 // decision circuit against RAM emptiness.
@@ -86,6 +88,16 @@ func TestDifferentialCatalog(t *testing.T) {
 				if opt.OptimizerReport() == nil {
 					t.Fatal("optimized compile returned no optimizer report")
 				}
+				rawVM, err := raw.CompileVM(context.Background())
+				if err != nil {
+					t.Fatalf("vm compile (raw): %v", err)
+				}
+				optVM, err := opt.CompileVM(context.Background())
+				if err != nil {
+					t.Fatalf("vm compile (opt): %v", err)
+				}
+				var dbs []Database
+				var wantAll [][]string
 				for seed := int64(1); seed <= diffSeeds; seed++ {
 					db := testutil.RandomDB(q, seed, n)
 					want, err := EvaluateRAM(q, db)
@@ -93,14 +105,30 @@ func TestDifferentialCatalog(t *testing.T) {
 						t.Fatalf("seed %d: RAM: %v", seed, err)
 					}
 					wantRows := testutil.Rows(want)
+					dbs = append(dbs, db)
+					wantAll = append(wantAll, wantRows)
 					tiers := []struct {
 						name string
 						eval func() (*Relation, error)
 					}{
 						{"relational", func() (*Relation, error) { return raw.EvaluateRelational(db, true) }},
 						{"oblivious", func() (*Relation, error) { return raw.Evaluate(db) }},
+						{"vm", func() (*Relation, error) {
+							outs, err := rawVM.EvalBatch(context.Background(), []Database{db})
+							if err != nil {
+								return nil, err
+							}
+							return outs[0], nil
+						}},
 						{"opt-relational", func() (*Relation, error) { return opt.EvaluateRelational(db, true) }},
 						{"opt-oblivious", func() (*Relation, error) { return opt.Evaluate(db) }},
+						{"opt-vm", func() (*Relation, error) {
+							outs, err := optVM.EvalBatch(context.Background(), []Database{db})
+							if err != nil {
+								return nil, err
+							}
+							return outs[0], nil
+						}},
 					}
 					for _, tier := range tiers {
 						got, err := tier.eval()
@@ -110,6 +138,17 @@ func TestDifferentialCatalog(t *testing.T) {
 						if d := testutil.DiffRows(wantRows, testutil.Rows(got), "RAM", tier.name); d != "" {
 							t.Errorf("seed %d: %s diverges: %s", seed, tier.name, d)
 						}
+					}
+				}
+				// One multi-database lock-step batch over all seeds:
+				// lane r of the batch must equal seed r's reference.
+				outs, err := optVM.EvalBatch(context.Background(), dbs)
+				if err != nil {
+					t.Fatalf("vm batch over %d seeds: %v", len(dbs), err)
+				}
+				for i, out := range outs {
+					if d := testutil.DiffRows(wantAll[i], testutil.Rows(out), "RAM", "opt-vm-batch"); d != "" {
+						t.Errorf("batched seed %d diverges: %s", i+1, d)
 					}
 				}
 

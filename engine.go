@@ -121,6 +121,19 @@ func (e *Engine) Submit(ctx context.Context, q *Query, dcs DCSet, db Database) <
 	return e.inner.Submit(ctx, engine.Request{Query: q, DCs: dcs, DB: db})
 }
 
+// EngineRequest is one evaluation for ServeBatch: a query, the degree
+// constraints the plan is compiled against, and the database.
+type EngineRequest = engine.Request
+
+// ServeBatch fans a slice of independent requests across the worker
+// pool and waits for all of them; results are positional. With
+// EngineConfig.BatchMaxSize > 1, concurrent requests sharing a plan
+// fingerprint are additionally coalesced into lock-step vm batches, so
+// same-shape requests amortize gate decode across the whole batch.
+func (e *Engine) ServeBatch(ctx context.Context, reqs []EngineRequest) []ServeResult {
+	return e.inner.ServeBatch(ctx, reqs)
+}
+
 // Close stops accepting requests, drains queued ones, and waits for the
 // workers to finish. Safe to call more than once, including
 // concurrently with itself and with Serve/Submit.

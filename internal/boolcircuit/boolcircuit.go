@@ -102,6 +102,16 @@ func (c *Circuit) Outputs() []int { return append([]int(nil), c.outputs...) }
 // GateAt returns gate id (for inspection and lowering passes).
 func (c *Circuit) GateAt(id int) Gate { return c.gates[id] }
 
+// DepthOf returns the level of gate id: 0 for inputs and constants,
+// 1 + max(operand depths) for computation gates. Gates of equal depth
+// are independent, which is what level-ordered batch compilers
+// (internal/vm) and the parallel evaluator rely on.
+func (c *Circuit) DepthOf(id int) int { return int(c.depth[id]) }
+
+// InputIDs returns the gate ids of the input wires in allocation order
+// — the positional order Evaluate consumes its inputs in.
+func (c *Circuit) InputIDs() []int { return append([]int(nil), c.inputs...) }
+
 // MarkOutput designates wire w as a circuit output.
 func (c *Circuit) MarkOutput(w int) {
 	if w < 0 || w >= len(c.gates) {

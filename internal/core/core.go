@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"circuitql/internal/boolcircuit"
@@ -245,6 +246,25 @@ type Compiled struct {
 	// Opt reports the optimizer's before/after sizes; nil when the
 	// passes were disabled (CompileOptions.NoOpt).
 	Opt *opt.Report
+
+	// packOnce/packPlan cache the input layout PackOblivious needs, so
+	// the per-request pack writes straight from the user's relations
+	// into one flat buffer instead of materialising renamed Relations
+	// (string-keyed dedup maps) that are iterated once and thrown away.
+	packOnce  sync.Once
+	packPlan  []packSpec
+	packWidth int
+}
+
+// packSpec is the precomputed recipe for packing one oblivious input
+// directly from the base relation of the atom it came from.
+type packSpec struct {
+	atomName string   // key of the base relation in the user's database
+	arity    int      // arity the base relation must have
+	cols     []int    // base tuple position of each schema attribute
+	dupPairs [][2]int // base positions a repeated variable forces equal
+	capacity int
+	width    int // capacity * (1 + len(cols)) words
 }
 
 // CompileOptions tunes the compile pipeline. The zero value is the
@@ -350,6 +370,133 @@ func (cq *Compiled) EvaluateObliviousCtx(ctx context.Context, db query.Database)
 		return nil, err
 	}
 	outs, err := cq.Obliv.EvaluateCtx(ctx, pdb)
+	if err != nil {
+		return nil, err
+	}
+	return outs[cq.RelOutput], nil
+}
+
+// PackOblivious prepares db for the query and lays it out as the
+// oblivious circuit's flat input words — the front half of
+// EvaluateObliviousCtx, split out so a batch evaluator (internal/vm)
+// can pack many databases and run them through one compiled program in
+// lock-step. The first call precomputes a pack plan mapping each input
+// spec back to its atom's base relation; subsequent calls write the
+// tuples straight into one preallocated buffer, which keeps the pack
+// side of batch serving off the per-request allocation path.
+func (cq *Compiled) PackOblivious(db query.Database) ([]int64, error) {
+	cq.packOnce.Do(cq.buildPackPlan)
+	if cq.packPlan == nil {
+		// An input spec did not resolve to an atom — take the general
+		// route through the renamed intermediate relations.
+		pdb, err := panda.PrepareDB(cq.Query, db)
+		if err != nil {
+			return nil, err
+		}
+		return cq.Obliv.pack(pdb)
+	}
+	out := make([]int64, cq.packWidth)
+	off := 0
+	for si := range cq.packPlan {
+		ps := &cq.packPlan[si]
+		r, ok := db[ps.atomName]
+		if !ok {
+			return nil, fmt.Errorf("core: database missing relation %q", ps.atomName)
+		}
+		if r.Arity() != ps.arity {
+			return nil, fmt.Errorf("core: relation %q has arity %d, atom uses %d variables",
+				ps.atomName, r.Arity(), ps.arity)
+		}
+		n, rowW := 0, 1+len(ps.cols)
+		var err error
+		r.Each(func(t relation.Tuple) {
+			for _, p := range ps.dupPairs {
+				if t[p[0]] != t[p[1]] {
+					return
+				}
+			}
+			if n >= ps.capacity {
+				err = fmt.Errorf("core: packing %q: relation has more than %d tuples, capacity %d",
+					ps.atomName, n, ps.capacity)
+				return
+			}
+			row := out[off+n*rowW : off+(n+1)*rowW]
+			row[0] = 1
+			for k, c := range ps.cols {
+				if t[c] == opcircuits.Sentinel {
+					err = fmt.Errorf("core: packing %q: value collides with the reserved sentinel", ps.atomName)
+				}
+				row[1+k] = t[c]
+			}
+			n++
+		})
+		if err != nil {
+			return nil, err
+		}
+		off += ps.width
+	}
+	return out, nil
+}
+
+// buildPackPlan resolves every oblivious input spec back to the query
+// atom it was built from and records, per spec, the base-relation
+// column of each schema attribute plus the equality filter a repeated
+// variable implies. On any mismatch the plan stays nil and
+// PackOblivious falls back to the PrepareDB route.
+func (cq *Compiled) buildPackPlan() {
+	q := cq.Query
+	byName := make(map[string]int, len(q.Atoms))
+	for i := range q.Atoms {
+		byName[panda.InputName(q, i)] = i
+	}
+	plan := make([]packSpec, 0, len(cq.Obliv.Inputs))
+	total := 0
+	for _, spec := range cq.Obliv.Inputs {
+		ai, ok := byName[spec.Name]
+		if !ok {
+			return
+		}
+		a := q.Atoms[ai]
+		// First occurrence of each variable keeps its column; later
+		// occurrences only constrain.
+		firstPos := make(map[string]int, len(a.Vars))
+		var dups [][2]int
+		for j, v := range a.Vars {
+			name := q.VarNames[v]
+			if j0, seen := firstPos[name]; seen {
+				dups = append(dups, [2]int{j0, j})
+			} else {
+				firstPos[name] = j
+			}
+		}
+		cols := make([]int, len(spec.Schema))
+		for k, attr := range spec.Schema {
+			j, seen := firstPos[attr]
+			if !seen {
+				return
+			}
+			cols[k] = j
+		}
+		ps := packSpec{
+			atomName: a.Name,
+			arity:    len(a.Vars),
+			cols:     cols,
+			dupPairs: dups,
+			capacity: spec.Capacity,
+			width:    spec.Capacity * (1 + len(spec.Schema)),
+		}
+		total += ps.width
+		plan = append(plan, ps)
+	}
+	cq.packPlan, cq.packWidth = plan, total
+}
+
+// DecodeOblivious recovers Q(D) from the circuit's raw output words —
+// the back half of EvaluateObliviousCtx. raw must be the circuit's
+// outputs in MarkOutput order, as produced by boolcircuit evaluation or
+// a vm program compiled from cq.Obliv.C.
+func (cq *Compiled) DecodeOblivious(raw []int64) (*relation.Relation, error) {
+	outs, err := cq.Obliv.decode(raw)
 	if err != nil {
 		return nil, err
 	}

@@ -57,10 +57,14 @@ import (
 	"circuitql/internal/qos"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
+	"circuitql/internal/vm"
 )
 
 // Evaluation tier names, in degradation order (mirrors the facade).
+// TierVM is the vectorized fast path: the same oblivious circuit,
+// compiled once into an internal/vm program and evaluated in batches.
 const (
+	TierVM         = "vm"
 	TierOblivious  = "oblivious"
 	TierRelational = "relational"
 	TierRAM        = "ram"
@@ -147,6 +151,21 @@ type Config struct {
 	// counts; with the default (optimizer on) it charges post-opt
 	// counts, so the same budget holds more plans.
 	NoOpt bool
+	// DisableVM removes the vectorized vm tier from the ladder, so
+	// cached plans evaluate through the interpreted oblivious tier
+	// first (the pre-vm behavior; also useful for fault matrices that
+	// count interpreter gate ordinals).
+	DisableVM bool
+	// BatchMaxSize caps how many same-fingerprint requests one vm
+	// dispatch evaluates in lock-step. ≤ 1 disables coalescing (each
+	// request runs its own batch of one); 0 selects 1 — coalescing is
+	// opt-in because it trades up to BatchWindow of latency for
+	// amortized throughput.
+	BatchMaxSize int
+	// BatchWindow is how long the first request of a batch waits for
+	// companions before dispatching alone. 0 selects 250µs when
+	// BatchMaxSize enables coalescing.
+	BatchWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +195,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ShedPolicy == ShedAdaptive && c.Policy == (qos.Policy{}) {
 		c.Policy = qos.DefaultPolicy()
+	}
+	if c.BatchMaxSize > 1 && c.BatchWindow == 0 {
+		c.BatchWindow = 250 * time.Microsecond
 	}
 	return c
 }
@@ -230,10 +252,15 @@ type Engine struct {
 	compileWG  sync.WaitGroup
 	closeOnce  sync.Once
 
+	// batches coalesces same-fingerprint vm evaluations; nil unless
+	// Config.BatchMaxSize enables coalescing.
+	batches *batcher
+
 	// qos state
 	ledger       qos.Ledger
 	estServe     [qos.NumLanes]qos.Estimator // whole-request service time per lane
-	estObliv     qos.Estimator               // per-tier eval estimates for deadline shares
+	estVM        qos.Estimator               // per-tier eval estimates for deadline shares
+	estObliv     qos.Estimator
 	estRel       qos.Estimator
 	estRAM       qos.Estimator
 	laneInFlight [qos.NumLanes]atomic.Int64
@@ -242,8 +269,8 @@ type Engine struct {
 	hits, misses, evictions    atomic.Int64
 	compiles, compileErrs      atomic.Int64
 	requests, inFlight, failed atomic.Int64
-	servedObliv, servedRel     atomic.Int64
-	servedRAM                  atomic.Int64
+	servedVM, servedObliv      atomic.Int64
+	servedRel, servedRAM       atomic.Int64
 	compileLat, evalLat        latencyHist
 }
 
@@ -276,6 +303,9 @@ func New(cfg Config) *Engine {
 		jobsMiss: make(chan *job, cfg.MissQueueDepth),
 	}
 	e.lifeCtx, e.lifeCancel = context.WithCancel(context.Background())
+	if cfg.BatchMaxSize > 1 {
+		e.batches = newBatcher(cfg.BatchMaxSize, cfg.BatchWindow, e.lifeCtx, &e.ledger)
+	}
 	e.wg.Add(cfg.Workers + cfg.MissWorkers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker(e.jobsHit, qos.LaneHit)
@@ -502,6 +532,7 @@ func (e *Engine) Metrics() Metrics {
 		Requests:         e.requests.Load(),
 		InFlight:         e.inFlight.Load(),
 		Failed:           e.failed.Load(),
+		ServedVM:         e.servedVM.Load(),
 		ServedOblivious:  e.servedObliv.Load(),
 		ServedRelational: e.servedRel.Load(),
 		ServedRAM:        e.servedRAM.Load(),
@@ -657,6 +688,8 @@ func (e *Engine) processInner(ctx context.Context, j *job, stage *qos.DeadlineSt
 	e.evalLat.observe(res.EvalTime)
 	res.Tier = tier
 	switch tier {
+	case TierVM:
+		e.servedVM.Add(1)
 	case TierOblivious:
 		e.servedObliv.Add(1)
 	case TierRelational:
@@ -835,6 +868,8 @@ func (e *Engine) compile(ctx context.Context, canon *query.Canonical) (*entry, e
 // tierEst returns the duration estimator for a tier.
 func (e *Engine) tierEst(tier string) *qos.Estimator {
 	switch tier {
+	case TierVM:
+		return &e.estVM
 	case TierOblivious:
 		return &e.estObliv
 	case TierRelational:
@@ -847,7 +882,7 @@ func (e *Engine) tierEst(tier string) *qos.Estimator {
 // stageFor maps a tier name onto its deadline-accounting stage.
 func stageFor(tier string) qos.DeadlineStage {
 	switch tier {
-	case TierOblivious:
+	case TierVM, TierOblivious:
 		return qos.StageOblivious
 	case TierRelational:
 		return qos.StageRelational
@@ -881,6 +916,14 @@ func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request, stage *q
 			attempts = append(attempts, TierAttempt{Tier: TierOblivious,
 				Err: fmt.Errorf("%w: engine: wide plan routed past the oblivious tier under critical load", guard.ErrOverloaded)})
 		} else {
+			if !e.cfg.DisableVM {
+				tiers = append(tiers,
+					tier{TierVM, func(ctx context.Context) (out *relation.Relation, err error) {
+						defer guard.Recover(&err)
+						return e.evalVM(ctx, ent, req, wide)
+					}},
+				)
+			}
 			tiers = append(tiers,
 				tier{TierOblivious, func(ctx context.Context) (out *relation.Relation, err error) {
 					defer guard.Recover(&err)
@@ -940,6 +983,45 @@ func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request, stage *q
 	}
 	last := attempts[len(attempts)-1].Err
 	return nil, "", attempts, fmt.Errorf("engine: all evaluation tiers failed: %w", last)
+}
+
+// evalVM serves one request through the vectorized evaluator: lazily
+// compile the plan's oblivious circuit into a vm.Program (once per
+// cache entry, under a vm-compile span), pack the database into input
+// words, evaluate — coalesced with concurrent same-fingerprint
+// requests into one lock-step batch when batching is configured — and
+// decode the output words back into a relation.
+func (e *Engine) evalVM(ctx context.Context, ent *entry, req Request, wide bool) (*relation.Relation, error) {
+	prog, err := ent.vmProgram(ctx)
+	if err != nil {
+		return nil, err
+	}
+	inputs, err := ent.compiled.PackOblivious(req.DB)
+	if err != nil {
+		return nil, err
+	}
+	workers := 1
+	if wide {
+		workers = e.cfg.EvalWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	var raw []vm.Word
+	if e.batches != nil {
+		raw, err = e.batches.do(ctx, ent.fp, prog, inputs, workers)
+	} else {
+		outs, berr := prog.EvalBatchOpts(ctx, [][]vm.Word{inputs}, vm.Options{Workers: workers})
+		if berr != nil {
+			err = berr
+		} else {
+			raw = outs[0]
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ent.compiled.DecodeOblivious(raw)
 }
 
 // renameOutput maps a canonical plan's output columns back to the

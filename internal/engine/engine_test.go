@@ -61,8 +61,8 @@ func TestEngineServesCorrectResults(t *testing.T) {
 		if !warm.Output.Equal(want) {
 			t.Fatalf("%s: warm output differs from reference", ent.Name)
 		}
-		if warm.Tier != TierOblivious {
-			t.Errorf("%s: warm request served by %q, want oblivious", ent.Name, warm.Tier)
+		if warm.Tier != TierVM {
+			t.Errorf("%s: warm request served by %q, want vm", ent.Name, warm.Tier)
 		}
 	}
 }
@@ -407,8 +407,8 @@ func TestEngineInternalCompileFaultNotSticky(t *testing.T) {
 	if res.CacheHit {
 		t.Fatal("uncached fault entry leaked into the plan cache")
 	}
-	if res.Tier != TierOblivious {
-		t.Fatalf("retry served by %q, want oblivious (fault must not be sticky)", res.Tier)
+	if res.Tier != TierVM {
+		t.Fatalf("retry served by %q, want vm (fault must not be sticky)", res.Tier)
 	}
 	if m := e.Metrics(); m.Compiles != 1 {
 		t.Fatalf("retry should have compiled exactly once, compiles=%d", m.Compiles)

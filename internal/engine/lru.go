@@ -2,15 +2,21 @@ package engine
 
 import (
 	"container/list"
+	"context"
+	"sync"
 	"time"
 
 	"circuitql/internal/core"
+	"circuitql/internal/obs"
 	"circuitql/internal/query"
+	"circuitql/internal/vm"
 )
 
 // entry is one cached plan: the canonical form it was compiled from and
 // either the compiled circuits or a sticky compile failure. Entries are
-// immutable after insertion, so evaluation never holds the cache lock.
+// immutable after insertion — except the lazily-compiled vm program,
+// which is guarded by its own sync.Once — so evaluation never holds the
+// cache lock.
 type entry struct {
 	fp       query.Fingerprint
 	canon    *query.Canonical
@@ -30,6 +36,40 @@ type entry struct {
 	// diagnosis worth remembering, not a life sentence.
 	expires time.Time
 	elem    *list.Element
+
+	// vmMu/vmProg/vmErr hold the entry's lazily-compiled vectorized
+	// program: the first vm-tier request pays the compile (a linear gate
+	// walk, far cheaper than the plan compile), every later request —
+	// and every batch — reuses it.
+	vmMu   sync.Mutex
+	vmProg *vm.Program
+	vmErr  error
+}
+
+// vmProgram returns the entry's vectorized program, compiling it on
+// first use under a vm-compile span. A structural compile failure is
+// sticky for the entry's lifetime — the vm tier then fails fast and the
+// ladder falls through to the interpreted oblivious tier — but a
+// failure tied to the requesting context (cancellation, budget) is not,
+// so one impatient caller can't pin the fast path off.
+func (e *entry) vmProgram(ctx context.Context) (*vm.Program, error) {
+	e.vmMu.Lock()
+	defer e.vmMu.Unlock()
+	if e.vmProg != nil || e.vmErr != nil {
+		return e.vmProg, e.vmErr
+	}
+	ctx, sp := obs.StartSpan(ctx, obs.StageVMComp)
+	prog, err := vm.Compile(ctx, e.compiled.Obliv.C)
+	if err == nil {
+		sp.AddInt(obs.CounterGates, int64(prog.Gates()))
+	}
+	sp.SetError(err)
+	sp.End()
+	if err != nil && transientErr(err) {
+		return nil, err
+	}
+	e.vmProg, e.vmErr = prog, err
+	return e.vmProg, e.vmErr
 }
 
 // planCache is a cost-aware LRU: entries are charged by gate count

@@ -111,6 +111,7 @@ type Metrics struct {
 	Failed   int64 // requests that returned an error
 
 	// Per-tier serve counts (which evaluation strategy answered).
+	ServedVM         int64
 	ServedOblivious  int64
 	ServedRelational int64
 	ServedRAM        int64
@@ -132,8 +133,8 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "cache: hits=%d misses=%d evictions=%d plans=%d gates=%d\n",
 		m.Hits, m.Misses, m.Evictions, m.CachedPlans, m.CachedGates)
 	fmt.Fprintf(&b, "compiles=%d errors=%d latency: %v\n", m.Compiles, m.CompileErrors, m.CompileLatency)
-	fmt.Fprintf(&b, "tiers: oblivious=%d relational=%d ram=%d\n",
-		m.ServedOblivious, m.ServedRelational, m.ServedRAM)
+	fmt.Fprintf(&b, "tiers: vm=%d oblivious=%d relational=%d ram=%d\n",
+		m.ServedVM, m.ServedOblivious, m.ServedRelational, m.ServedRAM)
 	fmt.Fprintf(&b, "eval latency: %v", m.EvalLatency)
 	return b.String()
 }

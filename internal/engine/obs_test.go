@@ -58,7 +58,7 @@ func TestEngineConcurrentServeSpanTrees(t *testing.T) {
 		switch name {
 		case obs.StageServe, obs.StageCompile, obs.StageLPSolve, obs.StageProofSeq,
 			obs.StageRelCirc, obs.StageBoolCirc, obs.StageOptimize, obs.StageBitblast,
-			obs.StageRelEval, obs.StageBoolEval:
+			obs.StageRelEval, obs.StageBoolEval, obs.StageVMComp, obs.StageVMEval:
 			return true
 		}
 		return strings.HasPrefix(name, obs.StageTier)

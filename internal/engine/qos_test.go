@@ -203,8 +203,8 @@ func TestEngineNegativeEntryTTLHeals(t *testing.T) {
 	if res.Err != nil {
 		t.Fatal(res.Err)
 	}
-	if res.CacheHit || res.Tier != TierOblivious {
-		t.Fatalf("after TTL: hit=%v tier=%q, want recompiled oblivious serve", res.CacheHit, res.Tier)
+	if res.CacheHit || res.Tier != TierVM {
+		t.Fatalf("after TTL: hit=%v tier=%q, want recompiled vm serve", res.CacheHit, res.Tier)
 	}
 	if m := e.Metrics(); m.Compiles != 1 {
 		t.Fatalf("after TTL: compiles=%d, want 1", m.Compiles)
@@ -437,7 +437,9 @@ func TestEngineDeadlineMatrix(t *testing.T) {
 			return outcome{res, "compile"}
 		}},
 		{"oblivious", func(t *testing.T) outcome {
-			e := New(Config{Workers: 1, MissWorkers: 1, ShedPolicy: ShedOnFull})
+			// DisableVM: the fault ordinals below count interpreter gate
+			// hits; the vm tier would consume them first.
+			e := New(Config{Workers: 1, MissWorkers: 1, ShedPolicy: ShedOnFull, DisableVM: true})
 			defer e.Close()
 			req := mkReq(t, "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", 53, 10)
 			if res := e.Serve(context.Background(), req); res.Err != nil {
@@ -457,7 +459,7 @@ func TestEngineDeadlineMatrix(t *testing.T) {
 			return outcome{res, "oblivious"}
 		}},
 		{"relational", func(t *testing.T) outcome {
-			e := New(Config{Workers: 1, MissWorkers: 1, ShedPolicy: ShedOnFull})
+			e := New(Config{Workers: 1, MissWorkers: 1, ShedPolicy: ShedOnFull, DisableVM: true})
 			defer e.Close()
 			req := mkReq(t, "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", 54, 10)
 			if res := e.Serve(context.Background(), req); res.Err != nil {
@@ -506,7 +508,9 @@ func TestEngineDeadlineMatrix(t *testing.T) {
 // tier (recording a typed skip reason) instead of burning the remaining
 // clock on a doomed attempt.
 func TestEngineDeadlineSkipsDoomedTier(t *testing.T) {
-	e := New(Config{Workers: 1, MissWorkers: 1})
+	// DisableVM keeps the ladder at the classic three tiers so the skip
+	// count below stays meaningful.
+	e := New(Config{Workers: 1, MissWorkers: 1, DisableVM: true})
 	defer e.Close()
 	req := mkReq(t, "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", 61, 10)
 	if res := e.Serve(context.Background(), req); res.Err != nil {

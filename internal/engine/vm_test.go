@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"circuitql/internal/obs"
+	"circuitql/internal/query"
+	"circuitql/internal/workload"
+)
+
+// TestEngineVMTierServes: a warm plan serves from the vm tier with the
+// same answer the reference evaluation produces, and the per-tier
+// metrics attribute the serve to the vm.
+func TestEngineVMTierServes(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	req := mkReq(t, "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", 81, 10)
+	want, err := query.Evaluate(req.Query, req.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := e.Serve(context.Background(), req)
+	if cold.Err != nil {
+		t.Fatal(cold.Err)
+	}
+	warm := e.Serve(context.Background(), req)
+	if warm.Err != nil {
+		t.Fatal(warm.Err)
+	}
+	if warm.Tier != TierVM {
+		t.Fatalf("warm serve tier = %q, want vm", warm.Tier)
+	}
+	if !warm.Output.Equal(want) {
+		t.Fatal("vm tier output differs from reference")
+	}
+	if m := e.Metrics(); m.ServedVM < 1 {
+		t.Fatalf("ServedVM=%d, want ≥1", m.ServedVM)
+	}
+}
+
+// TestEngineDisableVM: with the tier disabled, warm serves fall back to
+// the interpreted oblivious tier (the pre-vm behavior).
+func TestEngineDisableVM(t *testing.T) {
+	e := New(Config{DisableVM: true})
+	defer e.Close()
+	req := mkReq(t, "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", 82, 10)
+	if res := e.Serve(context.Background(), req); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	warm := e.Serve(context.Background(), req)
+	if warm.Err != nil {
+		t.Fatal(warm.Err)
+	}
+	if warm.Tier != TierOblivious {
+		t.Fatalf("warm serve tier = %q, want oblivious with DisableVM", warm.Tier)
+	}
+}
+
+// countSpans walks a span tree counting spans by name.
+func countSpans(s *obs.Span, counts map[string]int) {
+	counts[s.Name]++
+	for _, c := range s.Children() {
+		countSpans(c, counts)
+	}
+}
+
+// TestEngineBatchCoalescing: concurrent same-fingerprint requests
+// coalesce into one vm batch — exactly one vm-eval span for the whole
+// batch (not one per request), a batch-occupancy record on the QoS
+// ledger, and every member still gets its own correct answer.
+func TestEngineBatchCoalescing(t *testing.T) {
+	tracer := obs.NewTracer(64)
+	const B = 4
+	// The window must be long enough that all B members reliably arrive
+	// before the timer (the size trigger then dispatches), yet short
+	// enough that the solo warm serve below doesn't stall the test.
+	e := New(Config{
+		Workers:      B, // all members must park concurrently
+		BatchMaxSize: B,
+		BatchWindow:  500 * time.Millisecond,
+		Tracer:       tracer,
+	})
+	defer e.Close()
+	req := mkReq(t, "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", 83, 10)
+	want, err := query.Evaluate(req.Query, req.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := e.Serve(context.Background(), req); res.Err != nil {
+		t.Fatal(res.Err) // warm the plan (dispatches a batch of 1)
+	}
+	warmBatches := e.QoS().Batches
+
+	var wg sync.WaitGroup
+	results := make([]Result, B)
+	for i := 0; i < B; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.Serve(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("member %d: %v", i, res.Err)
+		}
+		if res.Tier != TierVM {
+			t.Fatalf("member %d served by %q, want vm", i, res.Tier)
+		}
+		if !res.Output.Equal(want) {
+			t.Fatalf("member %d got a wrong answer", i)
+		}
+	}
+
+	s := e.QoS()
+	if s.Batches != warmBatches+1 {
+		t.Fatalf("Batches=%d, want %d (the 4 members must share one dispatch)", s.Batches, warmBatches+1)
+	}
+	if s.BatchedRequests < B {
+		t.Fatalf("BatchedRequests=%d, want ≥%d", s.BatchedRequests, B)
+	}
+
+	// The regression the obs satellite pins: one vm-eval span per batch,
+	// not per request. Across the whole run (warm serve + coalesced
+	// batch) that is exactly 2 vm-eval spans over 5 serves.
+	counts := map[string]int{}
+	for _, root := range tracer.Last(0) {
+		countSpans(root, counts)
+	}
+	if got := counts[obs.StageVMEval]; got != 2 {
+		t.Fatalf("vm-eval spans = %d over 5 serves, want 2 (one per batch)", got)
+	}
+	if got := counts[obs.StageVMComp]; got != 1 {
+		t.Fatalf("vm-compile spans = %d, want 1 (compiled once per cached plan)", got)
+	}
+}
+
+// TestEngineBatchDeadlineFanOut: a member whose context is already dead
+// gets its deadline error immediately while its batch companions are
+// served normally — one member's clock must not poison the batch.
+func TestEngineBatchDeadlineFanOut(t *testing.T) {
+	const B = 2
+	e := New(Config{
+		Workers:      B,
+		BatchMaxSize: B,
+		BatchWindow:  50 * time.Millisecond,
+	})
+	defer e.Close()
+	req := mkReq(t, "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", 84, 10)
+	if res := e.Serve(context.Background(), req); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	var wg sync.WaitGroup
+	var live, doomed Result
+	wg.Add(2)
+	go func() { defer wg.Done(); live = e.Serve(context.Background(), req) }()
+	go func() { defer wg.Done(); doomed = e.Serve(dead, req) }()
+	wg.Wait()
+
+	if live.Err != nil {
+		t.Fatalf("live member: %v", live.Err)
+	}
+	if doomed.Err == nil {
+		t.Fatal("canceled member was served without error")
+	}
+}
+
+// TestEngineBatchAcrossFingerprints: coalescing keys on the plan
+// fingerprint, so requests for different queries never share a batch
+// but both still serve through the vm tier.
+func TestEngineBatchAcrossFingerprints(t *testing.T) {
+	e := New(Config{Workers: 2, BatchMaxSize: 4, BatchWindow: 5 * time.Millisecond})
+	defer e.Close()
+	reqA := mkReq(t, "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", 85, 10)
+	reqB := Request{Query: query.MustParse("Q(X,Y,Z) :- R(X,Y), S(Y,Z)")}
+	reqB.DB = workload.ForQuery(reqB.Query, 86, 10)
+	reqB.DCs = mustDerive(t, reqB.Query, reqB.DB)
+
+	for _, r := range []Request{reqA, reqB} {
+		if res := e.Serve(context.Background(), r); res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	for _, r := range []Request{reqA, reqB} {
+		want, err := query.Evaluate(r.Query, r.DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := e.Serve(context.Background(), r)
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		if res.Tier != TierVM {
+			t.Fatalf("tier = %q, want vm", res.Tier)
+		}
+		if !res.Output.Equal(want) {
+			t.Fatal("wrong answer through the batched vm path")
+		}
+	}
+}

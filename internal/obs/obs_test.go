@@ -142,23 +142,27 @@ func BenchmarkStartSpanNilTracer(b *testing.B) {
 
 func TestTierLedger(t *testing.T) {
 	var l TierLedger
+	l.Attempt("vm")
 	l.Attempt("oblivious")
 	l.Attempt("relational")
 	l.Serve("relational", true)
 	l.Attempt("nonsense") // unknown tiers are ignored, not counted
 	snap := l.Snapshot()
-	if snap[0].Tier != "oblivious" || snap[0].Attempts != 1 || snap[0].Serves != 0 {
-		t.Fatalf("oblivious = %+v", snap[0])
+	if snap[0].Tier != "vm" || snap[0].Attempts != 1 || snap[0].Serves != 0 {
+		t.Fatalf("vm = %+v", snap[0])
 	}
-	if snap[1].Attempts != 1 || snap[1].Serves != 1 || snap[1].Fallbacks != 1 {
-		t.Fatalf("relational = %+v", snap[1])
+	if snap[1].Tier != "oblivious" || snap[1].Attempts != 1 || snap[1].Serves != 0 {
+		t.Fatalf("oblivious = %+v", snap[1])
+	}
+	if snap[2].Attempts != 1 || snap[2].Serves != 1 || snap[2].Fallbacks != 1 {
+		t.Fatalf("relational = %+v", snap[2])
 	}
 	fams := l.Families()
 	if len(fams) != 3 {
 		t.Fatalf("families = %d, want 3", len(fams))
 	}
 	for _, f := range fams {
-		if len(f.Samples) != 3 {
+		if len(f.Samples) != numTiers {
 			t.Fatalf("%s has %d samples, want one per tier", f.Name, len(f.Samples))
 		}
 	}

@@ -48,6 +48,8 @@ const (
 	StageYanCount = "yannakakis-count" // output-sensitive count circuit
 	StageRelEval  = "relcircuit-eval"  // relational-circuit evaluation
 	StageBoolEval = "boolcircuit-eval" // oblivious word-circuit evaluation
+	StageVMComp   = "vm-compile"       // word circuit → vectorized SoA program (internal/vm)
+	StageVMEval   = "vm-eval"          // one batched vm evaluation (one span per batch)
 	StageTier     = "tier/"            // + tier name: one tier attempt of the ladder
 )
 
@@ -62,6 +64,12 @@ const (
 	CounterSolves   = "lp_solves" // LP solves completed
 	CounterSteps    = "proof_steps"
 	CounterRestarts = "restarts" // truncation-path re-derivations
+
+	// CounterBatchSize is the number of requests evaluated in lock-step
+	// by one vm-eval span; gates on the same span is the program size, so
+	// work = gates × batch_size and occupancy = batch_size sums / span
+	// counts.
+	CounterBatchSize = "batch_size"
 
 	// Optimizer counters (internal/opt), attached to the optimize span:
 	// word-gate count entering and leaving the passes, and the passes'

@@ -5,13 +5,14 @@ import "sync/atomic"
 // Tier indices of the evaluation ladder, in degradation order. The
 // string names match the facade and engine tier constants.
 const (
-	tierOblivious = iota
+	tierVM = iota
+	tierOblivious
 	tierRelational
 	tierRAM
 	numTiers
 )
 
-var tierNames = [numTiers]string{"oblivious", "relational", "ram"}
+var tierNames = [numTiers]string{"vm", "oblivious", "relational", "ram"}
 
 func tierIndex(tier string) int {
 	for i, n := range tierNames {

@@ -119,6 +119,9 @@ type Ledger struct {
 	rerouted atomic.Int64
 	deadline [numDeadlineStages]atomic.Int64
 	degraded [numDegradeActions]atomic.Int64
+
+	batches     atomic.Int64
+	batchedReqs atomic.Int64
 }
 
 // Admit counts one request entering lane's queue.
@@ -136,6 +139,13 @@ func (l *Ledger) Deadline(stage DeadlineStage) { l.deadline[stage].Add(1) }
 
 // Degrade counts one degradation measure taken.
 func (l *Ledger) Degrade(action DegradeAction) { l.degraded[action].Add(1) }
+
+// Batch counts one coalesced vm dispatch covering size requests, so
+// mean batch occupancy is BatchedRequests / Batches.
+func (l *Ledger) Batch(size int) {
+	l.batches.Add(1)
+	l.batchedReqs.Add(int64(size))
+}
 
 // LaneStats is a point-in-time gauge set for one admission lane.
 type LaneStats struct {
@@ -157,6 +167,11 @@ type Snapshot struct {
 	Lanes    []LaneStats
 	Level    Level
 	EvalP95  time.Duration
+
+	// Batches / BatchedRequests describe vm batch coalescing: mean
+	// occupancy is BatchedRequests / Batches.
+	Batches         int64
+	BatchedRequests int64
 }
 
 // TotalShed sums shed counts across lanes and reasons.
@@ -192,11 +207,13 @@ func (s Snapshot) TotalDeadline() int64 {
 // caller's to fill (the engine owns those gauges).
 func (l *Ledger) Snapshot() Snapshot {
 	s := Snapshot{
-		Admitted: make(map[string]int64, NumLanes),
-		Shed:     make(map[string]map[string]int64, NumLanes),
-		Deadline: make(map[string]int64, numDeadlineStages),
-		Degraded: make(map[string]int64, numDegradeActions),
-		Rerouted: l.rerouted.Load(),
+		Admitted:        make(map[string]int64, NumLanes),
+		Shed:            make(map[string]map[string]int64, NumLanes),
+		Deadline:        make(map[string]int64, numDeadlineStages),
+		Degraded:        make(map[string]int64, numDegradeActions),
+		Rerouted:        l.rerouted.Load(),
+		Batches:         l.batches.Load(),
+		BatchedRequests: l.batchedReqs.Load(),
 	}
 	for lane := Lane(0); lane < NumLanes; lane++ {
 		s.Admitted[lane.String()] = l.admitted[lane].Load()
@@ -234,6 +251,12 @@ func (s Snapshot) Families() []obs.Family {
 	queue := obs.Family{Name: "circuitql_qos_lane_queue", Help: "Requests queued per admission lane.", Type: obs.TypeGauge}
 	depth := obs.Family{Name: "circuitql_qos_lane_queue_capacity", Help: "Queue capacity per admission lane.", Type: obs.TypeGauge}
 	inflight := obs.Family{Name: "circuitql_qos_lane_in_flight", Help: "Requests being processed per admission lane.", Type: obs.TypeGauge}
+	batches := obs.Family{Name: "circuitql_qos_vm_batches_total",
+		Help: "Coalesced vm batch dispatches.", Type: obs.TypeCounter,
+		Samples: []obs.Sample{{Value: float64(s.Batches)}}}
+	batchedReqs := obs.Family{Name: "circuitql_qos_vm_batched_requests_total",
+		Help: "Requests served through coalesced vm batches.", Type: obs.TypeCounter,
+		Samples: []obs.Sample{{Value: float64(s.BatchedRequests)}}}
 	level := obs.Family{Name: "circuitql_qos_degradation_level",
 		Help: "Current degradation-ladder level (0 normal, 1 pressure, 2 critical).", Type: obs.TypeGauge,
 		Samples: []obs.Sample{{Value: float64(s.Level)}}}
@@ -267,5 +290,5 @@ func (s Snapshot) Families() []obs.Family {
 		depth.Samples = append(depth.Samples, obs.Sample{Labels: lbl, Value: float64(ls.Depth)})
 		inflight.Samples = append(inflight.Samples, obs.Sample{Labels: lbl, Value: float64(ls.InFlight)})
 	}
-	return []obs.Family{admitted, shed, rerouted, deadline, degraded, queue, depth, inflight, level}
+	return []obs.Family{admitted, shed, rerouted, deadline, degraded, batches, batchedReqs, queue, depth, inflight, level}
 }

@@ -1,0 +1,112 @@
+package vm
+
+import (
+	"context"
+	"encoding/binary"
+	"testing"
+
+	"circuitql/internal/boolcircuit"
+)
+
+// buildFuzzCircuit interprets data as a word-circuit construction
+// program: each byte pair picks an operation and its operands over the
+// wires built so far. The decoder is total — every byte string yields
+// some valid circuit — so the fuzzer explores circuit shapes, not
+// parser errors.
+func buildFuzzCircuit(data []byte) (*boolcircuit.Circuit, int) {
+	c := boolcircuit.New()
+	nIn := 1
+	if len(data) > 0 {
+		nIn = 1 + int(data[0]%6)
+		data = data[1:]
+	}
+	wires := c.Inputs(nIn)
+	for len(data) >= 2 {
+		op, sel := data[0], data[1]
+		data = data[2:]
+		pick := func(k byte) int { return wires[int(k)%len(wires)] }
+		a, b := pick(sel), pick(sel>>4)
+		var w int
+		switch op % 13 {
+		case 0:
+			w = c.Add(a, b)
+		case 1:
+			w = c.Sub(a, b)
+		case 2:
+			w = c.Mul(a, b)
+		case 3:
+			w = c.ModC(a, b)
+		case 4:
+			w = c.And(a, b)
+		case 5:
+			w = c.Or(a, b)
+		case 6:
+			w = c.Xor(a, b)
+		case 7:
+			w = c.Not(a)
+		case 8:
+			w = c.Eq(a, b)
+		case 9:
+			w = c.Lt(a, b)
+		case 10:
+			w = c.Mux(a, b, pick(op>>4))
+		case 11:
+			w = c.Const(int64(op)*257 - int64(sel))
+		default:
+			w = c.Mux(c.Eq(a, b), a, b)
+		}
+		wires = append(wires, w)
+	}
+	for i := 0; i < 4 && i < len(wires); i++ {
+		c.MarkOutput(wires[len(wires)-1-i])
+	}
+	return c, nIn
+}
+
+// FuzzVMCompile pins the vectorized evaluator to the reference
+// gate-walk interpreter: any circuit the builder can produce must
+// compile, and EvalBatch must agree with boolcircuit.Evaluate on every
+// lane of a derived input batch.
+func FuzzVMCompile(f *testing.F) {
+	f.Add([]byte{3, 0, 0x12, 1, 0x34, 10, 0x56, 11, 0x78, 2, 0x9a}, int64(1))
+	f.Add([]byte{1, 7, 0xff, 8, 0x01, 9, 0x10, 3, 0x23}, int64(-12345))
+	f.Add([]byte{5, 12, 0x42, 12, 0x24, 4, 0x66, 5, 0x99, 6, 0xaa, 0, 0x55}, int64(1<<40))
+	f.Add([]byte{2, 11, 0x00, 3, 0x01, 3, 0x10}, int64(0))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		c, nIn := buildFuzzCircuit(data)
+		prog, err := Compile(context.Background(), c)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		const B = 5
+		inputs := make([][]Word, B)
+		state := uint64(seed)
+		for r := range inputs {
+			inputs[r] = make([]Word, nIn)
+			for i := range inputs[r] {
+				// splitmix64 keeps lanes distinct and deterministic.
+				state += 0x9e3779b97f4a7c15
+				z := state
+				z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+				z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+				inputs[r][i] = int64(z ^ (z >> 31))
+			}
+		}
+		got, err := prog.EvalBatch(context.Background(), inputs)
+		if err != nil {
+			t.Fatalf("EvalBatch: %v", err)
+		}
+		for r, in := range inputs {
+			want, err := c.Evaluate(in)
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			for i := range want {
+				if got[r][i] != want[i] {
+					t.Fatalf("lane %d output %d: vm=%d interp=%d (inputs %x)",
+						r, i, got[r][i], want[i], binary.BigEndian.AppendUint64(nil, uint64(in[0])))
+				}
+			}
+		}
+	})
+}

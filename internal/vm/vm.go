@@ -1,0 +1,740 @@
+// Package vm is the vectorized batch evaluator for word circuits: a
+// compiler from boolcircuit gate DAGs into a flat structure-of-arrays
+// instruction buffer, and an evaluator that runs B requests through the
+// program in lock-step, level by level.
+//
+// The paper's circuits are data independent — the gate sequence never
+// depends on tuple values — so the per-gate decode work (operand
+// lookup, opcode dispatch, bounds checks) is identical for every
+// request and can be paid once per gate instead of once per gate per
+// request. The compiler drops gates unreachable from the outputs, lays
+// the live instructions out contiguously in level order (opcode and
+// operand slot indices in parallel arrays, no Gate structs, no
+// interface dispatch), and register-allocates wire values into reusable
+// slots so the evaluator's arena slab (vals[slot*B+r], all B lanes of
+// one value adjacent) is sized by the maximum live width of the
+// circuit, not its total size — the working set stays cache-resident
+// where the interpreter streams the whole circuit. Comparison and
+// mux gates are computed arithmetically per lane, keeping even the
+// batched evaluation oblivious: the instruction and memory-access
+// sequence is a function of the program alone.
+//
+// Levels matter for two reasons: gates within one level are
+// independent, so a wide level × batch product can optionally be split
+// across workers (Brent's schedule, lock-step per level); and the
+// level structure is what makes the bounded circuit classes of the
+// paper amenable to this style of evaluation at all.
+package vm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"circuitql/internal/boolcircuit"
+	"circuitql/internal/faultinject"
+	"circuitql/internal/guard"
+	"circuitql/internal/obs"
+)
+
+// Word is the value carried by one wire for one request: the 64-bit
+// word of the Section 4.1 model.
+type Word = int64
+
+// vm opcodes: the compute subset of boolcircuit ops (inputs and
+// constants are prefilled, not executed).
+const (
+	opAdd uint8 = iota
+	opSub
+	opMul
+	opMod
+	opAnd
+	opOr
+	opXor
+	opNot
+	opEq
+	opLt
+	opMux
+
+	numOps = int(opMux) + 1
+)
+
+// pollStep is how many instructions run between context/budget
+// checkpoints on the serial path. Word gates are nanosecond-scale;
+// finer polling would dominate the work, coarser would make deadlines
+// and budget trips sloppy within wide levels.
+const pollStep = 512
+
+// parallelMinWork is the instructions×lanes product below which a level
+// runs inline: goroutine fan-out costs more than it saves on small
+// level-batch products.
+const parallelMinWork = 1 << 15
+
+type constInit struct {
+	slot int32
+	k    Word
+}
+
+// Program is a compiled word circuit in executable form: one
+// structure-of-arrays instruction buffer (ops/dst/a/b/c in parallel,
+// contiguous per level), the constant and input prefill templates, and
+// an arena pool for wire-value slabs. A Program is immutable after
+// Compile and safe for concurrent EvalBatch calls.
+//
+// Operands are SLOTS, not circuit wire ids: the compiler drops gates
+// unreachable from any output, then runs a liveness pass that reuses a
+// wire's value slot once its last reader's level has run. The slab is
+// therefore sized by the maximum number of simultaneously live wires,
+// not the circuit size — the difference between a cache-resident
+// working set and streaming the whole circuit through memory once per
+// instruction. Slots are recycled only at level boundaries, so the
+// per-level parallel executor stays race-free: a slot freed by level
+// L's readers is reused no earlier than level L+1.
+type Program struct {
+	ops      []uint8
+	dst      []int32
+	a, b, c  []int32
+	levelEnd []int32 // ops[levelEnd[l-1]:levelEnd[l]] is level l+1
+
+	numGates int // circuit size (|V|), for reporting
+	numSlots int // slab width: max simultaneously live wires
+
+	inputSlots []int32 // slot per circuit input, -1 when the input is dead
+	outSlots   []int32
+	consts     []constInit
+
+	slabs sync.Pool // *[]Word arenas, reused across evaluations
+}
+
+// Compile lowers a finished boolcircuit into a Program. The gate walk
+// polls ctx and charges the circuit's size against any guard.Budget the
+// context carries.
+//
+// Three passes: (1) mark gates reachable from the outputs — the
+// interpreter pays for every gate ever built, the vm does not; (2)
+// bucket live compute gates by depth level, laid out contiguously in
+// ascending id per level so operands always resolve to earlier levels;
+// (3) assign value slots by liveness, freeing a wire's slot at the
+// level boundary after its last reader.
+func Compile(ctx context.Context, c *boolcircuit.Circuit) (*Program, error) {
+	if c == nil {
+		return nil, fmt.Errorf("%w: vm: nil circuit", guard.ErrInvalidInput)
+	}
+	n := c.Size()
+	if err := guard.FromContext(ctx).CheckGates(ctx, n); err != nil {
+		return nil, err
+	}
+	depth := c.Depth()
+
+	// Pass 1: reachability. Operand ids are always below the gate's own
+	// id (the builder is append-only), so one reverse sweep suffices.
+	reach := make([]bool, n)
+	for _, id := range c.Outputs() {
+		reach[id] = true
+	}
+	for i := n - 1; i >= 0; i-- {
+		if i&0xfff == 0 {
+			if err := guard.Poll(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if !reach[i] {
+			continue
+		}
+		g := c.GateAt(i)
+		for _, op := range [3]int32{g.A, g.B, g.C} {
+			if op >= 0 {
+				reach[op] = true
+			}
+		}
+	}
+
+	// Pass 2: level bucketing of live compute gates, and last-use levels
+	// for the liveness pass. lastLevel[w] is the deepest level reading
+	// wire w; outputs are pinned past every level so the final transpose
+	// can read them.
+	counts := make([]int32, depth+1)
+	total := 0
+	lastLevel := make([]int32, n)
+	for i := 0; i < n; i++ {
+		if i&0xfff == 0 {
+			if err := guard.Poll(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if !reach[i] {
+			continue
+		}
+		g := c.GateAt(i)
+		if g.Op == boolcircuit.OpInput || g.Op == boolcircuit.OpConst {
+			continue
+		}
+		d := int32(c.DepthOf(i))
+		counts[d]++
+		total++
+		for _, op := range [3]int32{g.A, g.B, g.C} {
+			if op >= 0 && lastLevel[op] < d {
+				lastLevel[op] = d
+			}
+		}
+	}
+	pinned := int32(depth + 1)
+	for _, id := range c.Outputs() {
+		lastLevel[id] = pinned
+	}
+
+	p := &Program{
+		ops:      make([]uint8, 0, total),
+		dst:      make([]int32, 0, total),
+		a:        make([]int32, 0, total),
+		b:        make([]int32, 0, total),
+		c:        make([]int32, 0, total),
+		numGates: n,
+	}
+	// Bucket live compute gates by level (ascending id within a level,
+	// since ids are visited in order). Gate ids are NOT monotone in depth
+	// — a later-built gate can sit at a shallower level — so slot
+	// recycling must run in level order, not id order.
+	levelGates := make([][]int32, depth+1)
+	for d := 1; d <= depth; d++ {
+		levelGates[d] = make([]int32, 0, counts[d])
+	}
+	for i := 0; i < n; i++ {
+		if !reach[i] {
+			continue
+		}
+		g := c.GateAt(i)
+		if g.Op == boolcircuit.OpInput || g.Op == boolcircuit.OpConst {
+			continue
+		}
+		levelGates[c.DepthOf(i)] = append(levelGates[c.DepthOf(i)], int32(i))
+	}
+
+	// Pass 3: place instructions level by level and assign slots.
+	// expire[L] lists slots whose wire was last read at level L-1 or
+	// earlier; they rejoin the free list when level L begins, which the
+	// level-by-level executors (serial and parallel alike) make safe: a
+	// slot freed by level L-1's readers is rewritten no earlier than
+	// level L, after the barrier.
+	slotOf := make([]int32, n)
+	expire := make([][]int32, depth+2)
+	var free []int32
+	var next int32
+	alloc := func(w int32) int32 {
+		var s int32
+		if len(free) > 0 {
+			s = free[len(free)-1]
+			free = free[:len(free)-1]
+		} else {
+			s = next
+			next++
+		}
+		slotOf[w] = s
+		if lu := lastLevel[w]; lu <= int32(depth) {
+			expire[lu+1] = append(expire[lu+1], s)
+		}
+		return s
+	}
+
+	// Level 0: inputs and constants. Every input keeps its positional
+	// place in the request vector; a dead input gets slot -1 (validated
+	// but never stored). Dead constants vanish entirely.
+	for _, id := range c.InputIDs() {
+		if !reach[id] {
+			p.inputSlots = append(p.inputSlots, -1)
+			continue
+		}
+		p.inputSlots = append(p.inputSlots, alloc(int32(id)))
+	}
+	for i := 0; i < n; i++ {
+		g := c.GateAt(i)
+		if g.Op == boolcircuit.OpConst && reach[i] {
+			p.consts = append(p.consts, constInit{slot: alloc(int32(i)), k: g.K})
+		}
+	}
+
+	placed := 0
+	for d := 1; d <= depth; d++ {
+		free = append(free, expire[d]...)
+		levStart := len(p.ops)
+		for _, i32 := range levelGates[d] {
+			if placed&0xfff == 0 {
+				if err := guard.Poll(ctx); err != nil {
+					return nil, err
+				}
+			}
+			placed++
+			g := c.GateAt(int(i32))
+			var op uint8
+			switch g.Op {
+			case boolcircuit.OpAdd:
+				op = opAdd
+			case boolcircuit.OpSub:
+				op = opSub
+			case boolcircuit.OpMul:
+				op = opMul
+			case boolcircuit.OpMod:
+				op = opMod
+			case boolcircuit.OpAnd:
+				op = opAnd
+			case boolcircuit.OpOr:
+				op = opOr
+			case boolcircuit.OpXor:
+				op = opXor
+			case boolcircuit.OpNot:
+				op = opNot
+			case boolcircuit.OpEq:
+				op = opEq
+			case boolcircuit.OpLt:
+				op = opLt
+			case boolcircuit.OpMux:
+				op = opMux
+			default:
+				return nil, fmt.Errorf("%w: vm: unsupported op %v at gate %d", guard.ErrInvalidInput, g.Op, i32)
+			}
+			p.ops = append(p.ops, op)
+			// Operand slots resolve BEFORE the dst allocation: a dst may
+			// legally reuse a slot freed at this very boundary, but never
+			// one of its own operands' (those are live through this level
+			// by definition of lastLevel).
+			p.a = append(p.a, slotOf[g.A])
+			if g.B >= 0 {
+				p.b = append(p.b, slotOf[g.B])
+			} else {
+				p.b = append(p.b, -1)
+			}
+			if g.C >= 0 {
+				p.c = append(p.c, slotOf[g.C])
+			} else {
+				p.c = append(p.c, -1)
+			}
+			p.dst = append(p.dst, alloc(i32))
+		}
+		p.sortLevelByOp(levStart, len(p.ops))
+		p.levelEnd = append(p.levelEnd, int32(len(p.ops)))
+	}
+	for _, id := range c.Outputs() {
+		p.outSlots = append(p.outSlots, slotOf[id])
+	}
+	p.numSlots = int(next)
+	return p, nil
+}
+
+// sortLevelByOp counting-sorts the instruction range [lo, hi) — one
+// level — by opcode. Instructions within a level are independent (their
+// operands all come from earlier levels), so any order is legal; opcode
+// runs let the executor dispatch once per run instead of once per
+// instruction, and hand each run to a batch kernel in one call.
+func (p *Program) sortLevelByOp(lo, hi int) {
+	if hi-lo < 2 {
+		return
+	}
+	var count [numOps]int32
+	for i := lo; i < hi; i++ {
+		count[p.ops[i]]++
+	}
+	var cur [numOps]int32
+	var acc int32
+	for op := range cur {
+		cur[op] = acc
+		acc += count[op]
+	}
+	n := hi - lo
+	ops := make([]uint8, n)
+	dst := make([]int32, n)
+	a := make([]int32, n)
+	b := make([]int32, n)
+	c := make([]int32, n)
+	for i := lo; i < hi; i++ {
+		j := cur[p.ops[i]]
+		cur[p.ops[i]]++
+		ops[j] = p.ops[i]
+		dst[j] = p.dst[i]
+		a[j] = p.a[i]
+		b[j] = p.b[i]
+		c[j] = p.c[i]
+	}
+	copy(p.ops[lo:hi], ops)
+	copy(p.dst[lo:hi], dst)
+	copy(p.a[lo:hi], a)
+	copy(p.b[lo:hi], b)
+	copy(p.c[lo:hi], c)
+}
+
+// Gates returns the total wire count of the source circuit (|V|,
+// including inputs, constants, and gates the compiler dropped as dead).
+func (p *Program) Gates() int { return p.numGates }
+
+// Slots returns the slab width per lane: the maximum number of
+// simultaneously live wires after the liveness pass.
+func (p *Program) Slots() int { return p.numSlots }
+
+// Instructions returns the number of compute instructions executed per
+// lane (live gates minus inputs and constants).
+func (p *Program) Instructions() int { return len(p.ops) }
+
+// Levels returns the number of instruction levels (the circuit depth).
+func (p *Program) Levels() int { return len(p.levelEnd) }
+
+// NumInputs returns the per-request input width.
+func (p *Program) NumInputs() int { return len(p.inputSlots) }
+
+// NumOutputs returns the per-request output width.
+func (p *Program) NumOutputs() int { return len(p.outSlots) }
+
+// Options tunes one EvalBatch call.
+type Options struct {
+	// Workers is the goroutine count for per-level parallelism: a level
+	// whose instructions×lanes product clears an internal threshold is
+	// split across up to this many goroutines. ≤ 1 runs serially (the
+	// default; batching already amortizes decode without threads).
+	Workers int
+}
+
+// EvalBatch runs every input vector through the program in lock-step
+// and returns one output vector per request, positionally. An empty
+// batch returns an empty result. Each inputs[r] must have exactly
+// NumInputs values.
+//
+// The instruction loop polls ctx every few hundred instructions and
+// charges completed instructions against any guard.Budget on ctx
+// (MaxGates), so cancellation, deadlines, and budget exhaustion cut the
+// evaluation short even inside one wide level. When ctx carries a
+// faultinject.Injector, each instruction reports to the word-gate site
+// (the slow path; the fast path pays nothing). The whole batch runs
+// under one obs vm-eval span carrying gates and batch_size counters —
+// one span per batch, never per request.
+func (p *Program) EvalBatch(ctx context.Context, inputs [][]Word) ([][]Word, error) {
+	return p.EvalBatchOpts(ctx, inputs, Options{})
+}
+
+// EvalBatchOpts is EvalBatch with explicit options.
+func (p *Program) EvalBatchOpts(ctx context.Context, inputs [][]Word, opts Options) (_ [][]Word, err error) {
+	B := len(inputs)
+	ctx, sp := obs.StartSpan(ctx, obs.StageVMEval)
+	defer func() {
+		sp.AddInt(obs.CounterGates, int64(p.numGates))
+		sp.AddInt(obs.CounterBatchSize, int64(B))
+		sp.SetError(err)
+		sp.End()
+	}()
+	if err := guard.Poll(ctx); err != nil {
+		return nil, err
+	}
+	if B == 0 {
+		return [][]Word{}, nil
+	}
+	for r, in := range inputs {
+		if len(in) != len(p.inputSlots) {
+			return nil, fmt.Errorf("%w: vm: request %d has %d inputs, want %d",
+				guard.ErrInvalidInput, r, len(in), len(p.inputSlots))
+		}
+	}
+
+	// Lane stride: B rounded up to a multiple of 8 so the vector
+	// kernels never need tail code. Padding lanes carry garbage through
+	// every (total) operation and are never read back.
+	S := (B + 7) &^ 7
+	vals := p.getSlab(p.numSlots * S)
+	defer p.putSlab(vals)
+
+	// Prefill: constants splat across lanes, inputs transpose from
+	// request-major to slot-major (padding lanes zeroed — the slab is
+	// pooled, so they would otherwise carry stale values into the mod
+	// paths of a *previous* batch's shape). Dead inputs (slot -1) are
+	// validated above but never stored.
+	for _, ci := range p.consts {
+		lane := vals[int(ci.slot)*S:][:S]
+		for l := range lane {
+			lane[l] = ci.k
+		}
+	}
+	for idx, s := range p.inputSlots {
+		if s < 0 {
+			continue
+		}
+		lane := vals[int(s)*S:][:S]
+		for r := 0; r < B; r++ {
+			lane[r] = inputs[r][idx]
+		}
+		for r := B; r < S; r++ {
+			lane[r] = 0
+		}
+	}
+
+	bud := guard.FromContext(ctx)
+	inj := faultinject.FromContext(ctx)
+	workers := opts.Workers
+
+	done := 0 // completed instructions, charged as gates against bud
+	start := 0
+	for _, e32 := range p.levelEnd {
+		end := int(e32)
+		if workers > 1 && inj == nil && (end-start)*B >= parallelMinWork {
+			if err := p.checkpoint(ctx, bud, done); err != nil {
+				return nil, err
+			}
+			p.execParallel(vals, S, start, end, workers)
+			done += end - start
+			start = end
+			continue
+		}
+		for s := start; s < end; {
+			e := s + pollStep
+			if e > end {
+				e = end
+			}
+			if err := p.checkpoint(ctx, bud, done); err != nil {
+				return nil, err
+			}
+			if inj != nil {
+				if err := p.execFaulty(inj, vals, S, s, e); err != nil {
+					return nil, err
+				}
+			} else {
+				p.exec(vals, S, s, e)
+			}
+			done += e - s
+			s = e
+		}
+		start = end
+	}
+	if err := p.checkpoint(ctx, bud, done); err != nil {
+		return nil, err
+	}
+
+	// Transpose outputs back to request-major before the slab returns
+	// to the pool.
+	ow := len(p.outSlots)
+	flat := make([]Word, ow*B)
+	out := make([][]Word, B)
+	for r := 0; r < B; r++ {
+		out[r] = flat[r*ow : (r+1)*ow : (r+1)*ow]
+	}
+	for oi, s := range p.outSlots {
+		lane := vals[int(s)*S:][:B]
+		for r := range lane {
+			out[r][oi] = lane[r]
+		}
+	}
+	return out, nil
+}
+
+// checkpoint polls ctx and charges the instructions completed so far
+// against the budget's gate cap.
+func (p *Program) checkpoint(ctx context.Context, bud *guard.Budget, done int) error {
+	if err := bud.CheckGates(ctx, done); err != nil {
+		return fmt.Errorf("vm: after %d instructions: %w", done, err)
+	}
+	return nil
+}
+
+func (p *Program) getSlab(n int) []Word {
+	if v, ok := p.slabs.Get().(*[]Word); ok {
+		if cap(*v) >= n {
+			return (*v)[:n]
+		}
+	}
+	return make([]Word, n)
+}
+
+func (p *Program) putSlab(s []Word) {
+	p.slabs.Put(&s)
+}
+
+// execParallel splits the level's instruction range into contiguous
+// chunks across workers. Instructions of one level write disjoint wires
+// and read only earlier levels, so no synchronization beyond the final
+// barrier is needed.
+func (p *Program) execParallel(vals []Word, S, lo, hi, workers int) {
+	chunk := (hi - lo + workers - 1) / workers
+	var wg sync.WaitGroup
+	for s := lo; s < hi; s += chunk {
+		e := s + chunk
+		if e > hi {
+			e = hi
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			p.exec(vals, S, s, e)
+		}(s, e)
+	}
+	wg.Wait()
+}
+
+// execFaulty is exec with per-instruction fault-injection hits, so the
+// engine's fault matrices see the same word-gate site the interpreted
+// evaluator reports to.
+func (p *Program) execFaulty(inj *faultinject.Injector, vals []Word, S, lo, hi int) error {
+	for ii := lo; ii < hi; ii++ {
+		if err := inj.Hit(faultinject.SiteWordGate); err != nil {
+			return fmt.Errorf("vm: instr %d: %w", ii, err)
+		}
+		p.exec(vals, S, ii, ii+1)
+	}
+	return nil
+}
+
+// exec runs instructions [lo,hi) over all S lanes. Levels are
+// opcode-sorted at compile time, so the range decomposes into few
+// same-op runs; each run dispatches once and goes to a batch kernel
+// that loops instructions natively (AVX2 amd64) or to the portable
+// per-instruction path.
+func (p *Program) exec(vals []Word, S int, lo, hi int) {
+	for s := lo; s < hi; {
+		op := p.ops[s]
+		e := s + 1
+		for e < hi && p.ops[e] == op {
+			e++
+		}
+		p.execRun(vals, S, op, s, e)
+		s = e
+	}
+}
+
+// execSlow runs one same-op instruction run through the per-instruction
+// lane kernels: the portable path, the fault-injection path, and the
+// multiply/modulus path everywhere. Mux and the comparisons are
+// computed arithmetically so the per-lane work has no data-dependent
+// branches.
+func (p *Program) execSlow(vals []Word, S int, op uint8, lo, hi int) {
+	for ii := lo; ii < hi; ii++ {
+		d := vals[int(p.dst[ii])*S:][:S:S]
+		a := vals[int(p.a[ii])*S:][:S:S]
+		a = a[:len(d)]
+		if op == opNot {
+			laneNot(d, a)
+			continue
+		}
+		b := vals[int(p.b[ii])*S:][:S:S]
+		b = b[:len(d)]
+		switch op {
+		case opAdd:
+			laneAdd(d, a, b)
+		case opSub:
+			laneSub(d, a, b)
+		case opMul:
+			scalarMul(d, a, b)
+		case opMod:
+			scalarMod(d, a, b)
+		case opAnd:
+			laneAnd(d, a, b)
+		case opOr:
+			laneOr(d, a, b)
+		case opXor:
+			laneXor(d, a, b)
+		case opEq:
+			laneEq(d, a, b)
+		case opLt:
+			laneLt(d, a, b)
+		case opMux:
+			cw := vals[int(p.c[ii])*S:][:S:S]
+			cw = cw[:len(d)]
+			laneMux(d, a, b, cw)
+		}
+	}
+}
+
+// Scalar lane loops: the portable implementation of every kernel, and
+// the tail path behind the amd64 vector kernels. Multiplication and
+// modulus stay scalar everywhere (AVX2 has no 64-bit multiply; modulus
+// needs per-lane division regardless).
+
+func scalarAdd(d, a, b []Word) {
+	a, b = a[:len(d)], b[:len(d)]
+	for l := range d {
+		d[l] = a[l] + b[l]
+	}
+}
+
+func scalarSub(d, a, b []Word) {
+	a, b = a[:len(d)], b[:len(d)]
+	for l := range d {
+		d[l] = a[l] - b[l]
+	}
+}
+
+func scalarMul(d, a, b []Word) {
+	a, b = a[:len(d)], b[:len(d)]
+	for l := range d {
+		d[l] = a[l] * b[l]
+	}
+}
+
+func scalarMod(d, a, b []Word) {
+	a, b = a[:len(d)], b[:len(d)]
+	for l := range d {
+		bv := b[l]
+		if bv == 0 {
+			d[l] = 0
+			continue
+		}
+		m := a[l] % bv
+		if m < 0 {
+			if bv < 0 {
+				m -= bv
+			} else {
+				m += bv
+			}
+		}
+		d[l] = m
+	}
+}
+
+func scalarAnd(d, a, b []Word) {
+	a, b = a[:len(d)], b[:len(d)]
+	for l := range d {
+		d[l] = a[l] & b[l]
+	}
+}
+
+func scalarOr(d, a, b []Word) {
+	a, b = a[:len(d)], b[:len(d)]
+	for l := range d {
+		d[l] = a[l] | b[l]
+	}
+}
+
+func scalarXor(d, a, b []Word) {
+	a, b = a[:len(d)], b[:len(d)]
+	for l := range d {
+		d[l] = a[l] ^ b[l]
+	}
+}
+
+func scalarNot(d, a []Word) {
+	a = a[:len(d)]
+	for l := range d {
+		d[l] = ^a[l]
+	}
+}
+
+func scalarEq(d, a, b []Word) {
+	a, b = a[:len(d)], b[:len(d)]
+	for l := range d {
+		d[l] = b2w(a[l] == b[l])
+	}
+}
+
+func scalarLt(d, a, b []Word) {
+	a, b = a[:len(d)], b[:len(d)]
+	for l := range d {
+		d[l] = b2w(a[l] < b[l])
+	}
+}
+
+func scalarMux(d, a, b, cw []Word) {
+	a, b, cw = a[:len(d)], b[:len(d)], cw[:len(d)]
+	for l := range d {
+		m := -b2w(cw[l] != 0) // 0 or all-ones
+		d[l] = (a[l] & m) | (b[l] &^ m)
+	}
+}
+
+func b2w(b bool) Word {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,329 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"circuitql/internal/boolcircuit"
+	"circuitql/internal/faultinject"
+	"circuitql/internal/guard"
+)
+
+// allOpsCircuit exercises every vm opcode at least once, with enough
+// structure that a wrong level layout or operand slot scrambles the
+// outputs.
+func allOpsCircuit() *boolcircuit.Circuit {
+	c := boolcircuit.New()
+	in := c.Inputs(4)
+	k := c.Const(7)
+	add := c.Add(in[0], in[1])
+	sub := c.Sub(in[1], in[2])
+	mul := c.Mul(add, sub)
+	mod := c.ModC(mul, k)
+	and := c.And(in[2], in[3])
+	or := c.Or(add, and)
+	xor := c.Xor(or, mod)
+	not := c.Not(xor)
+	eq := c.Eq(mod, c.Const(3))
+	lt := c.Lt(in[0], in[3])
+	mux := c.Mux(eq, not, lt)
+	deep := c.Mux(lt, c.Add(mux, k), c.ModC(xor, in[0]))
+	for _, w := range []int{add, mod, not, eq, lt, mux, deep} {
+		c.MarkOutput(w)
+	}
+	return c
+}
+
+// randomCircuit builds a random leveled word circuit over nIn inputs.
+func randomCircuit(rng *rand.Rand, nIn, nGates int) *boolcircuit.Circuit {
+	c := boolcircuit.New()
+	wires := c.Inputs(nIn)
+	wires = append(wires, c.Const(rng.Int63n(100)-50))
+	pick := func() int { return wires[rng.Intn(len(wires))] }
+	for i := 0; i < nGates; i++ {
+		var w int
+		switch rng.Intn(12) {
+		case 0:
+			w = c.Add(pick(), pick())
+		case 1:
+			w = c.Sub(pick(), pick())
+		case 2:
+			w = c.Mul(pick(), pick())
+		case 3:
+			w = c.ModC(pick(), pick())
+		case 4:
+			w = c.And(pick(), pick())
+		case 5:
+			w = c.Or(pick(), pick())
+		case 6:
+			w = c.Xor(pick(), pick())
+		case 7:
+			w = c.Not(pick())
+		case 8:
+			w = c.Eq(pick(), pick())
+		case 9:
+			w = c.Lt(pick(), pick())
+		case 10:
+			w = c.Mux(pick(), pick(), pick())
+		default:
+			w = c.Const(rng.Int63())
+		}
+		wires = append(wires, w)
+	}
+	// Mark a handful of the most recent wires so deep gates are visible.
+	for i := 0; i < 5 && i < len(wires); i++ {
+		c.MarkOutput(wires[len(wires)-1-i])
+	}
+	return c
+}
+
+func randInputs(rng *rand.Rand, n, B int) [][]Word {
+	out := make([][]Word, B)
+	for r := range out {
+		out[r] = make([]Word, n)
+		for i := range out[r] {
+			out[r][i] = rng.Int63() - (1 << 62)
+		}
+	}
+	return out
+}
+
+// checkAgainstInterp runs the batch through the vm and each request
+// through the reference gate-walk evaluator, and compares.
+func checkAgainstInterp(t *testing.T, c *boolcircuit.Circuit, inputs [][]Word, opts Options) {
+	t.Helper()
+	ctx := context.Background()
+	prog, err := Compile(ctx, c)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	got, err := prog.EvalBatchOpts(ctx, inputs, opts)
+	if err != nil {
+		t.Fatalf("EvalBatch: %v", err)
+	}
+	if len(got) != len(inputs) {
+		t.Fatalf("got %d results, want %d", len(got), len(inputs))
+	}
+	for r, in := range inputs {
+		want, err := c.Evaluate(in)
+		if err != nil {
+			t.Fatalf("request %d: interp: %v", r, err)
+		}
+		if len(got[r]) != len(want) {
+			t.Fatalf("request %d: %d outputs, want %d", r, len(got[r]), len(want))
+		}
+		for i := range want {
+			if got[r][i] != want[i] {
+				t.Fatalf("request %d output %d: vm=%d interp=%d", r, i, got[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestVMMatchesInterpAllOps(t *testing.T) {
+	c := allOpsCircuit()
+	rng := rand.New(rand.NewSource(1))
+	for _, B := range []int{1, 2, 7, 64} {
+		checkAgainstInterp(t, c, randInputs(rng, c.NumInputs(), B), Options{})
+	}
+	// Edge values: zeros, ones, extremes, negative mod operands.
+	edges := [][]Word{
+		{0, 0, 0, 0},
+		{1, -1, 1, -1},
+		{1<<63 - 1, -(1 << 62), 3, -7},
+		{-5, 7, 0, 1},
+	}
+	checkAgainstInterp(t, c, edges, Options{})
+}
+
+func TestVMMatchesInterpRandomCircuits(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCircuit(rng, 1+rng.Intn(6), 1+rng.Intn(200))
+		checkAgainstInterp(t, c, randInputs(rng, c.NumInputs(), 1+rng.Intn(16)), Options{})
+	}
+}
+
+func TestVMParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Wide enough that the parallel path actually engages
+	// (instructions×lanes ≥ the internal threshold).
+	c := randomCircuit(rng, 4, 3000)
+	inputs := randInputs(rng, c.NumInputs(), 16)
+	checkAgainstInterp(t, c, inputs, Options{Workers: 4})
+}
+
+func TestVMEmptyBatch(t *testing.T) {
+	prog, err := Compile(context.Background(), allOpsCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := prog.EvalBatch(context.Background(), nil)
+	if err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty batch returned %d results", len(out))
+	}
+}
+
+func TestVMBatchOfOne(t *testing.T) {
+	c := allOpsCircuit()
+	checkAgainstInterp(t, c, [][]Word{{3, 5, -2, 9}}, Options{})
+}
+
+func TestVMInputWidthMismatch(t *testing.T) {
+	prog, err := Compile(context.Background(), allOpsCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = prog.EvalBatch(context.Background(), [][]Word{{1, 2, 3, 4}, {1, 2}})
+	if !errors.Is(err, guard.ErrInvalidInput) {
+		t.Fatalf("short request: err=%v, want ErrInvalidInput", err)
+	}
+}
+
+func TestVMCompileNil(t *testing.T) {
+	if _, err := Compile(context.Background(), nil); !errors.Is(err, guard.ErrInvalidInput) {
+		t.Fatalf("nil circuit: err=%v, want ErrInvalidInput", err)
+	}
+}
+
+// countdownCtx reports itself canceled after its poll budget runs out,
+// making mid-evaluation cancellation deterministic (a timer would race
+// the nanosecond-scale gate loop).
+type countdownCtx struct {
+	context.Context
+	polls atomic.Int64
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestVMMidBatchCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := randomCircuit(rng, 4, 5000)
+	prog, err := Compile(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := randInputs(rng, c.NumInputs(), 8)
+	// First verify the happy path, then let the context die after a few
+	// checkpoints: the evaluation must stop early with ErrCanceled.
+	if _, err := prog.EvalBatch(context.Background(), inputs); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.polls.Store(3)
+	_, err = prog.EvalBatch(ctx, inputs)
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("mid-batch cancel: err=%v, want ErrCanceled", err)
+	}
+}
+
+func TestVMBudgetExhaustionMidLevel(t *testing.T) {
+	// One wide level: thousands of independent gates at depth 1, so the
+	// budget trips partway through a single level, not at a boundary.
+	// (Gates are hash-consed, so each must be structurally distinct, and
+	// every one is marked as an output so dead-gate elimination keeps
+	// the level wide.)
+	c := boolcircuit.New()
+	in := c.Inputs(2)
+	for i := 0; i < 3000; i++ {
+		c.MarkOutput(c.Add(in[0], c.Const(int64(i))))
+	}
+	prog, err := Compile(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Levels() != 1 {
+		t.Fatalf("wide circuit has %d levels, want 1", prog.Levels())
+	}
+	ctx := guard.WithBudget(context.Background(), &guard.Budget{MaxGates: 1000})
+	_, err = prog.EvalBatch(ctx, randInputs(rand.New(rand.NewSource(9)), 2, 4))
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("budget mid-level: err=%v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestVMFaultInjection(t *testing.T) {
+	c := allOpsCircuit()
+	prog, err := Compile(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faultinject.New()
+	boom := errors.New("injected word-gate fault")
+	in.FailAt(faultinject.SiteWordGate, 3, boom)
+	ctx := faultinject.WithInjector(context.Background(), in)
+	_, err = prog.EvalBatch(ctx, [][]Word{{1, 2, 3, 4}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("injected fault: err=%v, want %v", err, boom)
+	}
+	// Without the injector the same program still evaluates.
+	if _, err := prog.EvalBatch(context.Background(), [][]Word{{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVMSlabReuse(t *testing.T) {
+	c := allOpsCircuit()
+	prog, err := Compile(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	// Repeated evaluations of one program at varying batch sizes reuse
+	// pooled slabs; results must stay exact (a stale-value bug would
+	// surface here because slabs are not zeroed between runs).
+	for i := 0; i < 10; i++ {
+		B := 1 + rng.Intn(32)
+		inputs := randInputs(rng, c.NumInputs(), B)
+		got, err := prog.EvalBatch(context.Background(), inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r, in := range inputs {
+			want, err := c.Evaluate(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if got[r][j] != want[j] {
+					t.Fatalf("iteration %d request %d output %d: vm=%d interp=%d", i, r, j, got[r][j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestVMProgramShape(t *testing.T) {
+	c := allOpsCircuit()
+	prog, err := Compile(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Gates() != c.Size() {
+		t.Fatalf("Gates=%d, want circuit size %d", prog.Gates(), c.Size())
+	}
+	if prog.Levels() != c.Depth() {
+		t.Fatalf("Levels=%d, want depth %d", prog.Levels(), c.Depth())
+	}
+	if prog.NumInputs() != c.NumInputs() {
+		t.Fatalf("NumInputs=%d, want %d", prog.NumInputs(), c.NumInputs())
+	}
+	if prog.NumOutputs() != len(c.Outputs()) {
+		t.Fatalf("NumOutputs=%d, want %d", prog.NumOutputs(), len(c.Outputs()))
+	}
+	if prog.Instructions() >= prog.Gates() {
+		t.Fatalf("Instructions=%d not below Gates=%d (inputs/consts must not be instructions)",
+			prog.Instructions(), prog.Gates())
+	}
+}

@@ -193,8 +193,11 @@ func PolymatroidBoundCtx(ctx context.Context, q *Query, dcs DCSet) (r *big.Rat, 
 	return res.LogValue, nil
 }
 
-// Evaluation tier names, in degradation order.
+// Evaluation tier names, in degradation order. TierVM is the engine's
+// vectorized fast path (ServeResult.Tier); EvaluateResilient's own
+// ladder starts at the oblivious tier.
 const (
+	TierVM         = "vm"
 	TierOblivious  = "oblivious"
 	TierRelational = "relational"
 	TierRAM        = "ram"

@@ -177,8 +177,9 @@ func TestEvaluateResilientRecordsTierLedger(t *testing.T) {
 	}
 	after := obs.Tiers.Snapshot()
 
-	// Snapshot order is degradation order: oblivious, relational, ram.
-	obl, rel, ram := 0, 1, 2
+	// Snapshot order is degradation order: vm, oblivious, relational,
+	// ram (the facade's resilient path starts at the oblivious tier).
+	obl, rel, ram := 1, 2, 3
 	deltas := []struct {
 		name string
 		got  int64

@@ -32,6 +32,19 @@
 //	circuitd -admin :6060 </dev/null &
 //	curl localhost:6060/metrics
 //
+// With -listen ADDR the daemon additionally serves the concurrent
+// binary wire protocol (internal/wire) on a TCP listener: clients
+// pipeline length-prefixed requests over one connection, responses
+// return out of order correlated by ID, and per-request deadlines and
+// priorities map onto the engine's admission machinery. -shards splits
+// the engine into independently locked shards routed by plan
+// fingerprint; -batch-size/-batch-window enable same-fingerprint vm
+// batch coalescing. Like -admin, -listen keeps the process up past
+// stdin EOF:
+//
+//	circuitd -listen :7420 -shards 8 -batch-size 8 </dev/null &
+//	circuitload -addr :7420 -clients 16 -duration 10s
+//
 // Overload protection: -max-inflight caps concurrent evaluation,
 // -queue-depth bounds each admission lane, and -shed-policy picks what a
 // full lane does (block, shed with a typed retry-after error, or
@@ -57,6 +70,7 @@ import (
 
 	"circuitql"
 	"circuitql/internal/obs"
+	"circuitql/internal/wire"
 	"circuitql/internal/workload"
 )
 
@@ -83,6 +97,10 @@ func run() int {
 		queueDepth = flag.Int("queue-depth", 0, "queued requests per admission lane beyond its workers (0: 2x the lane's workers)")
 		shed       = flag.String("shed-policy", "block", "full-queue behavior: block (wait), shed (reject with a typed overload error), adaptive (shed plus load-based degradation)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-drain bound on shutdown; queued work past it fails with typed errors")
+		listen     = flag.String("listen", "", "wire-protocol TCP listen address (e.g. :7420); pipelined binary requests served concurrently")
+		shards     = flag.Int("shards", 0, "engine shards routed by plan fingerprint, each with its own cache and lanes (0: 1)")
+		batchSize  = flag.Int("batch-size", 0, "max same-fingerprint requests coalesced into one vm batch (<=1: off)")
+		batchWin   = flag.Duration("batch-window", 0, "how long a fresh batch waits for companions (0: 250µs when -batch-size enables coalescing)")
 	)
 	flag.Parse()
 
@@ -110,6 +128,9 @@ func run() int {
 		MaxCacheGates:  *cacheGates,
 		Tracer:         tracer,
 		NoOpt:          *noOpt,
+		Shards:         *shards,
+		BatchMaxSize:   *batchSize,
+		BatchWindow:    *batchWin,
 	})
 	// Deadline-bounded drain instead of a plain Close: queued requests
 	// get *drain to finish; engine-owned compiles are canceled past it.
@@ -120,6 +141,38 @@ func run() int {
 			log.Print(err)
 		}
 	}()
+
+	// The wire listener serves the binary protocol concurrently with the
+	// stdin loop. Its drain defer is registered after the engine's, so on
+	// shutdown the network side drains first (listener closed, connection
+	// read sides half-closed, in-flight responses flushed) and only then
+	// does the engine drain its queues.
+	var wireSrv *wire.Server
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		wireSrv = wire.NewServer(wireEval{eng}, wire.ServerConfig{
+			Tuples:      *n,
+			Seed:        *seed,
+			MaxDeadline: *timeout,
+		})
+		wireErr := make(chan error, 1)
+		go func() { wireErr <- wireSrv.Serve(ln) }()
+		log.Printf("wire protocol listening on %s (shards=%d)", ln.Addr(), eng.ShardCount())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), *drain)
+			defer cancel()
+			if err := wireSrv.Shutdown(ctx); err != nil {
+				log.Print(err)
+			}
+			if err := <-wireErr; err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	var adminDone func()
 	if *admin != "" {
@@ -192,14 +245,17 @@ serve:
 		}
 	}
 
+	// With an admin or wire listener up, stdin EOF does not end the
+	// process: scrapers and wire clients keep their endpoints until
+	// SIGINT/SIGTERM. The metrics summary prints at exit so it covers
+	// the wire traffic served in the meantime.
+	if (adminDone != nil || wireSrv != nil) && !interrupted {
+		log.Print("stdin closed; listeners stay up — interrupt to exit")
+		s := <-sig
+		log.Printf("%v: draining (bound %v)", s, *drain)
+	}
 	fmt.Printf("\n%s\n", eng.Metrics())
-	// With an admin listener up, stdin EOF does not end the process:
-	// scrapers keep reading /metrics until SIGINT/SIGTERM.
 	if adminDone != nil {
-		if !interrupted {
-			log.Print("stdin closed; admin endpoints stay up — interrupt to exit")
-			<-sig
-		}
 		adminDone()
 	}
 	if failures > 0 {
@@ -207,6 +263,14 @@ serve:
 		return 1
 	}
 	return 0
+}
+
+// wireEval adapts the facade Engine to wire.Evaluator: the wire server
+// submits already-assembled engine requests.
+type wireEval struct{ eng *circuitql.Engine }
+
+func (w wireEval) Submit(ctx context.Context, req circuitql.EngineRequest) <-chan circuitql.ServeResult {
+	return w.eng.SubmitRequest(ctx, req)
 }
 
 // parseShedPolicy maps the -shed-policy flag onto an engine policy.

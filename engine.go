@@ -125,6 +125,16 @@ func (e *Engine) Submit(ctx context.Context, q *Query, dcs DCSet, db Database) <
 // constraints the plan is compiled against, and the database.
 type EngineRequest = engine.Request
 
+// SubmitRequest is Submit with the request already assembled as an
+// EngineRequest — the form network front ends (internal/wire) and load
+// harnesses submit, so they can drive the engine through one interface.
+func (e *Engine) SubmitRequest(ctx context.Context, req EngineRequest) <-chan ServeResult {
+	return e.inner.Submit(ctx, req)
+}
+
+// ShardCount reports how many shards the engine runs (EngineConfig.Shards).
+func (e *Engine) ShardCount() int { return e.inner.ShardCount() }
+
 // ServeBatch fans a slice of independent requests across the worker
 // pool and waits for all of them; results are positional. With
 // EngineConfig.BatchMaxSize > 1, concurrent requests sharing a plan

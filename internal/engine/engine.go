@@ -103,6 +103,13 @@ func (p ShedPolicy) String() string {
 
 // Config sizes the engine. The zero value selects sensible defaults.
 type Config struct {
+	// Shards is how many independent engine shards to run. Requests
+	// route by canonical fingerprint to one shard, which owns its plan
+	// cache, singleflight map, QoS lanes, and batcher, so none of those
+	// locks or windows cross shards. Workers, queue depths, and cache
+	// budgets below are engine-wide totals divided across shards.
+	// 0 selects 1 (the unsharded engine).
+	Shards int
 	// MaxCacheGates caps the summed gate count (relational + oblivious)
 	// of cached plans; the least recently used plans are evicted beyond
 	// it. 0 selects 1<<22 gates; negative means unlimited.
@@ -169,6 +176,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	if c.MaxCacheGates == 0 {
 		c.MaxCacheGates = 1 << 22
 	}
@@ -230,8 +240,13 @@ type Result struct {
 	EvalTime    time.Duration
 }
 
-// Engine is the serving engine. Create with New, stop with Close.
-type Engine struct {
+// shard is one self-contained slice of the serving engine: it owns its
+// plan cache, singleflight map, QoS lanes, worker pool, and batcher.
+// The sharded Engine (sharded.go) routes every request whose canonical
+// fingerprint maps here, so cache locks, LRU eviction, and coalescing
+// windows never cross shards, and exactly-once compile per fingerprint
+// holds shard-locally.
+type shard struct {
 	cfg Config
 
 	mu      sync.Mutex // guards cache, flights, closed
@@ -288,14 +303,15 @@ type job struct {
 // processing) and must be re-queued onto the miss lane.
 var errReroute = errors.New("engine: plan gone; reroute to miss lane")
 
-// New starts an engine with the given configuration.
-func New(cfg Config) *Engine {
-	cfg = cfg.withDefaults()
+// newShard starts one shard. cfg is the already-defaulted per-shard
+// slice of the engine configuration (New divides workers, queue depths,
+// and cache budgets across shards before calling this).
+func newShard(cfg Config) *shard {
 	negTTL := cfg.NegativeTTL
 	if negTTL < 0 {
 		negTTL = 0 // never expire
 	}
-	e := &Engine{
+	e := &shard{
 		cfg:      cfg,
 		cache:    newPlanCache(cfg.MaxCacheGates, cfg.MaxPlans, negTTL),
 		flights:  newFlightGroup(),
@@ -316,7 +332,7 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-func (e *Engine) worker(jobs chan *job, lane qos.Lane) {
+func (e *shard) worker(jobs chan *job, lane qos.Lane) {
 	defer e.wg.Done()
 	for j := range jobs {
 		e.laneInFlight[lane].Add(1)
@@ -331,10 +347,10 @@ func (e *Engine) worker(jobs chan *job, lane qos.Lane) {
 }
 
 // ladderOn reports whether the degradation ladder is active.
-func (e *Engine) ladderOn() bool { return e.cfg.Policy != (qos.Policy{}) }
+func (e *shard) ladderOn() bool { return e.cfg.Policy != (qos.Policy{}) }
 
 // load assembles the qos picture of current pressure.
-func (e *Engine) load() qos.Load {
+func (e *shard) load() qos.Load {
 	return qos.Load{
 		HitQueue:  len(e.jobsHit),
 		HitDepth:  cap(e.jobsHit),
@@ -347,7 +363,7 @@ func (e *Engine) load() qos.Load {
 }
 
 // level grades the current load on the degradation ladder.
-func (e *Engine) level() qos.Level {
+func (e *shard) level() qos.Level {
 	if !e.ladderOn() {
 		return qos.LevelNormal
 	}
@@ -355,7 +371,7 @@ func (e *Engine) level() qos.Level {
 }
 
 // retryAfter estimates when lane will have capacity again.
-func (e *Engine) retryAfter(lane qos.Lane) time.Duration {
+func (e *shard) retryAfter(lane qos.Lane) time.Duration {
 	queued, workers := len(e.jobsHit), e.cfg.Workers
 	if lane == qos.LaneMiss {
 		queued, workers = len(e.jobsMiss), e.cfg.MissWorkers
@@ -379,7 +395,7 @@ func canonicalize(req Request) (c *query.Canonical, err error) {
 // exists (the request should only pay evaluation), LaneMiss otherwise.
 // Requests that already failed canonicalization take the hit lane —
 // they fail fast in a worker without burning a compile slot.
-func (e *Engine) classify(j *job) qos.Lane {
+func (e *shard) classify(j *job) qos.Lane {
 	if j.canonErr != nil {
 		return qos.LaneHit
 	}
@@ -392,20 +408,20 @@ func (e *Engine) classify(j *job) qos.Lane {
 }
 
 // admit counts an accepted request.
-func (e *Engine) admit(lane qos.Lane) {
+func (e *shard) admit(lane qos.Lane) {
 	e.ledger.Admit(lane)
 	e.requests.Add(1)
 }
 
-// Submit classifies a request into an admission lane and enqueues it,
-// returning a channel that will receive exactly one Result. Under
+// enqueue classifies an already-canonicalized job into an admission
+// lane and enqueues it; j.out will receive exactly one Result. Under
 // ShedBlock (the default) submission blocks while the lane is full;
 // under ShedOnFull / ShedAdaptive a full lane rejects immediately with
 // a typed *guard.OverloadError carrying a retry-after hint. A canceled
 // context or a closed engine resolves the result immediately with an
 // error.
-func (e *Engine) Submit(ctx context.Context, req Request) <-chan Result {
-	out := make(chan Result, 1)
+func (e *shard) enqueue(j *job) {
+	ctx, out := j.ctx, j.out
 	e.submitM.RLock()
 	defer e.submitM.RUnlock()
 	e.mu.Lock()
@@ -417,13 +433,11 @@ func (e *Engine) Submit(ctx context.Context, req Request) <-chan Result {
 			// elsewhere"), not as an input error.
 			e.ledger.Shed(qos.LaneMiss, qos.ShedDraining)
 			out <- Result{Err: qos.Overload(qos.LaneMiss, qos.ShedDraining, 0)}
-			return out
+			return
 		}
 		out <- Result{Err: fmt.Errorf("%w: engine is closed", guard.ErrInvalidInput)}
-		return out
+		return
 	}
-	j := &job{ctx: ctx, req: req, out: out}
-	j.canon, j.canonErr = canonicalize(req)
 	j.lane = e.classify(j)
 	jobs := e.jobsHit
 	if j.lane == qos.LaneMiss {
@@ -437,7 +451,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) <-chan Result {
 		case <-ctxDone(ctx):
 			out <- Result{Err: guard.Poll(ctx)}
 		}
-		return out
+		return
 	}
 
 	// Shedding policies never block the caller.
@@ -445,7 +459,7 @@ func (e *Engine) Submit(ctx context.Context, req Request) <-chan Result {
 		qos.PriorityOf(ctx) < qos.PriorityNormal && e.level() >= qos.LevelCritical {
 		e.ledger.Shed(j.lane, qos.ShedPriority)
 		out <- Result{Err: qos.Overload(j.lane, qos.ShedPriority, e.retryAfter(j.lane))}
-		return out
+		return
 	}
 	select {
 	case jobs <- j:
@@ -454,40 +468,13 @@ func (e *Engine) Submit(ctx context.Context, req Request) <-chan Result {
 		e.ledger.Shed(j.lane, qos.ShedQueueFull)
 		out <- Result{Err: qos.Overload(j.lane, qos.ShedQueueFull, e.retryAfter(j.lane))}
 	}
-	return out
 }
 
-// Serve runs one request to completion on the worker pool.
-func (e *Engine) Serve(ctx context.Context, req Request) Result {
-	select {
-	case res := <-e.Submit(ctx, req):
-		return res
-	case <-ctxDone(ctx):
-		// The job may still run (it polls ctx itself and fails fast);
-		// the caller gets the cancellation immediately.
-		return Result{Err: guard.Poll(ctx)}
-	}
-}
-
-// ServeBatch fans a batch of independent requests across the pool and
-// waits for all of them; results are positional.
-func (e *Engine) ServeBatch(ctx context.Context, reqs []Request) []Result {
-	chans := make([]<-chan Result, len(reqs))
-	for i, r := range reqs {
-		chans[i] = e.Submit(ctx, r)
-	}
-	out := make([]Result, len(reqs))
-	for i, ch := range chans {
-		out[i] = <-ch
-	}
-	return out
-}
-
-// Close stops accepting requests, drains queued ones, waits for the
+// close stops accepting requests, drains queued ones, waits for the
 // workers, then cancels and waits for any detached compiles nobody is
 // left to consume. Safe to call more than once, including concurrently
-// with itself and with Serve/Submit.
-func (e *Engine) Close() error {
+// with itself and with enqueue.
+func (e *shard) close() error {
 	e.closeOnce.Do(func() {
 		e.mu.Lock()
 		e.closed = true
@@ -505,21 +492,21 @@ func (e *Engine) Close() error {
 	return nil
 }
 
-// Shutdown is Close bounded by ctx: when ctx expires the engine-scoped
+// shutdown is close bounded by ctx: when ctx expires the shard-scoped
 // compile context is canceled, so queued requests drain promptly with
 // typed errors instead of waiting out arbitrarily long compiles.
-// Callers still own their request contexts; Shutdown only bounds
-// engine-owned work.
-func (e *Engine) Shutdown(ctx context.Context) error {
+// Callers still own their request contexts; shutdown only bounds
+// shard-owned work.
+func (e *shard) shutdown(ctx context.Context) error {
 	if ctx != nil {
 		stop := context.AfterFunc(ctx, e.lifeCancel)
 		defer stop()
 	}
-	return e.Close()
+	return e.close()
 }
 
-// Metrics returns a snapshot of the engine's counters.
-func (e *Engine) Metrics() Metrics {
+// metrics returns a snapshot of the shard's counters.
+func (e *shard) metrics() Metrics {
 	e.mu.Lock()
 	plans, gates := e.cache.len(), e.cache.gates
 	e.mu.Unlock()
@@ -543,9 +530,10 @@ func (e *Engine) Metrics() Metrics {
 	}
 }
 
-// QoS returns the admission/degradation snapshot: ledger counters, live
-// lane gauges, the current ladder level, and the recent eval p95.
-func (e *Engine) QoS() qos.Snapshot {
+// qosSnapshot returns the shard's admission/degradation snapshot:
+// ledger counters, live lane gauges, the current ladder level, and the
+// recent eval p95.
+func (e *shard) qosSnapshot() qos.Snapshot {
 	s := e.ledger.Snapshot()
 	s.Lanes = []qos.LaneStats{
 		{Lane: qos.LaneHit.String(), Queued: len(e.jobsHit), Depth: cap(e.jobsHit),
@@ -561,7 +549,7 @@ func (e *Engine) QoS() qos.Snapshot {
 // requeue moves a hit-classified job whose plan vanished onto the miss
 // lane, without blocking the hit worker. False when the miss lane is
 // full or the engine is closing — the caller sheds instead.
-func (e *Engine) requeue(j *job) bool {
+func (e *shard) requeue(j *job) bool {
 	e.submitM.RLock()
 	defer e.submitM.RUnlock()
 	e.mu.Lock()
@@ -584,7 +572,7 @@ func (e *Engine) requeue(j *job) bool {
 // database, evaluate through the tiers, and rename the output back to
 // the request's variable names. requeued means the job was re-queued
 // onto the miss lane and no result must be delivered yet.
-func (e *Engine) process(j *job) (res Result, requeued bool) {
+func (e *shard) process(j *job) (res Result, requeued bool) {
 	ctx := j.ctx
 	// The serve span is declared first so its defer runs last, after the
 	// panic-recovery defers below have folded any failure into res.Err.
@@ -650,7 +638,7 @@ func (e *Engine) process(j *job) (res Result, requeued bool) {
 	return res, requeued
 }
 
-func (e *Engine) processInner(ctx context.Context, j *job, stage *qos.DeadlineStage) Result {
+func (e *shard) processInner(ctx context.Context, j *job, stage *qos.DeadlineStage) Result {
 	if err := guard.Poll(ctx); err != nil {
 		return Result{Err: err}
 	}
@@ -719,7 +707,7 @@ func (e *Engine) processInner(ctx context.Context, j *job, stage *qos.DeadlineSt
 // classification) returns errReroute under shedding policies so the
 // worker re-queues it on the miss lane instead of occupying a hit slot
 // for a compile wait.
-func (e *Engine) plan(ctx context.Context, canon *query.Canonical, lane qos.Lane) (*entry, bool, error) {
+func (e *shard) plan(ctx context.Context, canon *query.Canonical, lane qos.Lane) (*entry, bool, error) {
 	first := true
 	for {
 		if e.lifeCtx.Err() != nil {
@@ -767,7 +755,7 @@ func (e *Engine) plan(ctx context.Context, canon *query.Canonical, lane qos.Lane
 // runFlight leads one compile flight to completion on the engine-scoped
 // context. reqCtx is only mined for values (budget, tracer, injector) —
 // its cancellation does not propagate.
-func (e *Engine) runFlight(fl *flight, canon *query.Canonical, reqCtx context.Context) {
+func (e *shard) runFlight(fl *flight, canon *query.Canonical, reqCtx context.Context) {
 	defer e.compileWG.Done()
 	cctx := e.lifeCtx
 	if b := guard.FromContext(reqCtx); b != nil {
@@ -810,7 +798,7 @@ func transientErr(err error) bool {
 // exhaustion), so it yields an uncached RAM-only entry: this request is
 // still served, and the next one retries the compile instead of being
 // pinned to the slow tier forever.
-func (e *Engine) compile(ctx context.Context, canon *query.Canonical) (*entry, error) {
+func (e *shard) compile(ctx context.Context, canon *query.Canonical) (*entry, error) {
 	ent := &entry{fp: canon.FP, canon: canon}
 	if !canon.Query.IsFull() {
 		// Theorem 3/4 plans exist for full CQs; everything else is
@@ -865,8 +853,20 @@ func (e *Engine) compile(ctx context.Context, canon *query.Canonical) (*entry, e
 	return ent, nil
 }
 
+// chargeVM re-accounts the plan cache after an entry's vm program
+// compiled: the program's footprint joins the entry's charged cost, and
+// colder plans are evicted if the budget is now exceeded.
+func (e *shard) chargeVM(ent *entry, extra int64) {
+	e.mu.Lock()
+	n := e.cache.recharge(ent, extra)
+	e.mu.Unlock()
+	if n > 0 {
+		e.evictions.Add(int64(n))
+	}
+}
+
 // tierEst returns the duration estimator for a tier.
-func (e *Engine) tierEst(tier string) *qos.Estimator {
+func (e *shard) tierEst(tier string) *qos.Estimator {
 	switch tier {
 	case TierVM:
 		return &e.estVM
@@ -902,7 +902,7 @@ func stageFor(tier string) qos.DeadlineStage {
 // estimated duration already exceeds its share is skipped outright.
 // Under critical load the ladder routes wide plans past the oblivious
 // tier entirely.
-func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request, stage *qos.DeadlineStage) (*relation.Relation, string, []TierAttempt, error) {
+func (e *shard) evaluate(ctx context.Context, ent *entry, req Request, stage *qos.DeadlineStage) (*relation.Relation, string, []TierAttempt, error) {
 	type tier struct {
 		name string
 		run  func(ctx context.Context) (*relation.Relation, error)
@@ -991,8 +991,8 @@ func (e *Engine) evaluate(ctx context.Context, ent *entry, req Request, stage *q
 // words, evaluate — coalesced with concurrent same-fingerprint
 // requests into one lock-step batch when batching is configured — and
 // decode the output words back into a relation.
-func (e *Engine) evalVM(ctx context.Context, ent *entry, req Request, wide bool) (*relation.Relation, error) {
-	prog, err := ent.vmProgram(ctx)
+func (e *shard) evalVM(ctx context.Context, ent *entry, req Request, wide bool) (*relation.Relation, error) {
+	prog, err := ent.vmProgram(ctx, e)
 	if err != nil {
 		return nil, err
 	}

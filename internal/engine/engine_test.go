@@ -309,9 +309,10 @@ func flightLeaderSetup(t *testing.T, e *Engine, req Request) (<-chan Result, fun
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.mu.Lock()
-	fl, leader := e.flights.join(canon.FP)
-	e.mu.Unlock()
+	s := e.shardOf(canon.FP)
+	s.mu.Lock()
+	fl, leader := s.flights.join(canon.FP)
+	s.mu.Unlock()
 	if !leader {
 		t.Fatal("a flight is already in progress")
 	}
@@ -319,14 +320,14 @@ func flightLeaderSetup(t *testing.T, e *Engine, req Request) (<-chan Result, fun
 	go func() { done <- e.Serve(context.Background(), req) }()
 	// The follower records its miss and joins the flight under one
 	// critical section, so misses > 0 implies it is waiting on fl.done.
-	for e.misses.Load() == 0 {
+	for s.misses.Load() == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	return done, func(ent *entry, err error) {
-		e.mu.Lock()
+		s.mu.Lock()
 		fl.ent, fl.err = ent, err
-		e.flights.leave(canon.FP)
-		e.mu.Unlock()
+		s.flights.leave(canon.FP)
+		s.mu.Unlock()
 		close(fl.done)
 	}
 }

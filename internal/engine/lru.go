@@ -52,7 +52,12 @@ type entry struct {
 // ladder falls through to the interpreted oblivious tier — but a
 // failure tied to the requesting context (cancellation, budget) is not,
 // so one impatient caller can't pin the fast path off.
-func (e *entry) vmProgram(ctx context.Context) (*vm.Program, error) {
+//
+// A fresh program's memory footprint (its value slots and instruction
+// buffer, which dominate a resident program) is charged against the
+// owning shard's plan-cache budget exactly once, so lazily-compiled vm
+// programs are not invisible to Config.MaxCacheGates.
+func (e *entry) vmProgram(ctx context.Context, owner *shard) (*vm.Program, error) {
 	e.vmMu.Lock()
 	defer e.vmMu.Unlock()
 	if e.vmProg != nil || e.vmErr != nil {
@@ -69,7 +74,19 @@ func (e *entry) vmProgram(ctx context.Context) (*vm.Program, error) {
 		return nil, err
 	}
 	e.vmProg, e.vmErr = prog, err
+	if err == nil && owner != nil {
+		// Safe lock order: the cache mutex is only ever taken after
+		// vmMu here, never the other way around.
+		owner.chargeVM(e, vmCost(prog))
+	}
 	return e.vmProg, e.vmErr
+}
+
+// vmCost is the plan-cache charge for a resident vm program: its value
+// slots plus its instruction count, the two buffers that dominate its
+// footprint, in the same gate-sized units the cache already charges.
+func vmCost(p *vm.Program) int64 {
+	return int64(p.Slots() + p.Instructions())
 }
 
 // planCache is a cost-aware LRU: entries are charged by gate count
@@ -156,6 +173,33 @@ func (c *planCache) add(e *entry) (evicted int) {
 		((c.maxGates > 0 && c.gates > c.maxGates) || (c.maxPlans > 0 && c.order.Len() > c.maxPlans)) {
 		back := c.order.Back()
 		victim := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.entries, victim.fp)
+		c.gates -= victim.gates
+		evicted++
+	}
+	return evicted
+}
+
+// recharge raises an entry's charged cost by extra after its vm program
+// compiled (the program's footprint was unknowable at insert time), and
+// evicts least-recently-used other entries until the cache is back
+// within its gate budget. The recharged entry itself is never evicted —
+// it is in active use by the request that triggered the compile. A
+// no-op when the entry has already been evicted or replaced.
+func (c *planCache) recharge(e *entry, extra int64) (evicted int) {
+	cur, ok := c.entries[e.fp]
+	if !ok || cur != e {
+		return 0
+	}
+	e.gates += extra
+	c.gates += extra
+	for c.order.Len() > 1 && c.maxGates > 0 && c.gates > c.maxGates {
+		back := c.order.Back()
+		victim := back.Value.(*entry)
+		if victim == e {
+			break
+		}
 		c.order.Remove(back)
 		delete(c.entries, victim.fp)
 		c.gates -= victim.gates

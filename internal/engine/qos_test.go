@@ -34,22 +34,23 @@ func blockMissLane(t *testing.T, e *Engine, req Request) (<-chan Result, func())
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.mu.Lock()
-	fl, leader := e.flights.join(canon.FP)
-	e.mu.Unlock()
+	s := e.shardOf(canon.FP)
+	s.mu.Lock()
+	fl, leader := s.flights.join(canon.FP)
+	s.mu.Unlock()
 	if !leader {
 		t.Fatal("a flight is already in progress")
 	}
 	out := e.Submit(context.Background(), req)
-	for e.misses.Load() == 0 {
+	for s.misses.Load() == 0 {
 		time.Sleep(time.Millisecond)
 	}
 	return out, func() {
-		e.mu.Lock()
+		s.mu.Lock()
 		fl.ent = &entry{fp: canon.FP, canon: canon,
 			compileErr: guard.Invalidf("test: parked flight resolved to RAM"), gates: 1, uncached: true}
-		e.flights.leave(canon.FP)
-		e.mu.Unlock()
+		s.flights.leave(canon.FP)
+		s.mu.Unlock()
 		close(fl.done)
 	}
 }
@@ -175,19 +176,20 @@ func TestEngineNegativeEntryTTLHeals(t *testing.T) {
 	// Deterministic clock.
 	var clock atomic.Int64
 	clock.Store(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano())
-	e.mu.Lock()
-	e.cache.now = func() time.Time { return time.Unix(0, clock.Load()) }
-	e.mu.Unlock()
+	s := e.shards[0]
+	s.mu.Lock()
+	s.cache.now = func() time.Time { return time.Unix(0, clock.Load()) }
+	s.mu.Unlock()
 
 	req := mkReq(t, "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", 21, 10)
 	canon, err := query.Canonicalize(req.Query, req.DCs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e.mu.Lock()
-	e.cache.add(&entry{fp: canon.FP, canon: canon,
+	s.mu.Lock()
+	s.cache.add(&entry{fp: canon.FP, canon: canon,
 		compileErr: guard.Invalidf("test: transiently misclassified"), gates: 1})
-	e.mu.Unlock()
+	s.mu.Unlock()
 
 	res := e.Serve(context.Background(), req)
 	if res.Err != nil || res.Tier != TierRAM || !res.CacheHit {
@@ -224,9 +226,10 @@ func TestEngineNegativeTTLDisabled(t *testing.T) {
 	defer e.Close()
 	var clock atomic.Int64
 	clock.Store(time.Now().UnixNano())
-	e.mu.Lock()
-	e.cache.now = func() time.Time { return time.Unix(0, clock.Load()) }
-	e.mu.Unlock()
+	s := e.shards[0]
+	s.mu.Lock()
+	s.cache.now = func() time.Time { return time.Unix(0, clock.Load()) }
+	s.mu.Unlock()
 
 	q := query.Path2Projected() // non-full: sticky RAM entry
 	db := workload.ForQuery(q, 22, 8)
@@ -415,18 +418,19 @@ func TestEngineDeadlineMatrix(t *testing.T) {
 			defer e.Close()
 			req := mkReq(t, "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)", 52, 8)
 			canon := mustCanon(t, req)
-			e.mu.Lock()
-			fl, leader := e.flights.join(canon.FP) // park the request as follower
-			e.mu.Unlock()
+			s := e.shardOf(canon.FP)
+			s.mu.Lock()
+			fl, leader := s.flights.join(canon.FP) // park the request as follower
+			s.mu.Unlock()
 			if !leader {
 				t.Fatal("flight already present")
 			}
 			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 			defer cancel()
 			res := <-e.Submit(ctx, req)
-			e.mu.Lock()
-			e.flights.leave(canon.FP)
-			e.mu.Unlock()
+			s.mu.Lock()
+			s.flights.leave(canon.FP)
+			s.mu.Unlock()
 			close(fl.done)
 			if s := e.QoS(); s.Deadline["compile"] != 1 {
 				t.Fatalf("deadline[compile]=%d, want 1 (%v)", s.Deadline["compile"], s.Deadline)
@@ -520,10 +524,10 @@ func TestEngineDeadlineSkipsDoomedTier(t *testing.T) {
 	// tier cheap, then hand in a deadline that only fits the RAM tier.
 	// (Repeated observations swamp whatever the warm serve recorded.)
 	for i := 0; i < 16; i++ {
-		e.estObliv.Observe(10 * time.Second)
-		e.estRel.Observe(10 * time.Second)
+		e.shards[0].estObliv.Observe(10 * time.Second)
+		e.shards[0].estRel.Observe(10 * time.Second)
 	}
-	e.estRAM.Observe(time.Microsecond)
+	e.shards[0].estRAM.Observe(time.Microsecond)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
 	defer cancel()
@@ -573,13 +577,14 @@ func TestEngineRerouteOnEvictedPlan(t *testing.T) {
 	gateOut := e.Submit(gateCtx, gateReq) // hit lane; blocks in Poll via gate
 
 	out := e.Submit(context.Background(), req) // classified hit, queued behind the gate
-	e.mu.Lock()
-	ent := e.cache.peek(canon.FP)
+	s := e.shardOf(canon.FP)
+	s.mu.Lock()
+	ent := s.cache.peek(canon.FP)
 	if ent == nil {
 		t.Fatal("plan missing before eviction")
 	}
-	e.cache.remove(ent)
-	e.mu.Unlock()
+	s.cache.remove(ent)
+	s.mu.Unlock()
 	close(gate)
 
 	if res := <-gateOut; res.Err != nil {

@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"context"
+	"sync/atomic"
+
+	"circuitql/internal/wire"
+)
+
+// WireTarget drives a wire server over TCP: shapes are sent as wire
+// requests (the server parses, generates, and memoizes them), so the
+// measured path includes framing and the network round trip — the
+// numbers a real client would see.
+type WireTarget struct {
+	clients []*wire.Client
+	next    atomic.Uint64
+}
+
+// DialWire connects conns multiplexed clients to a wire server.
+// Multiple connections exercise the server's per-connection writer
+// goroutines concurrently; each client multiplexes many in-flight
+// requests, so conns stays small (one per few clients is plenty).
+func DialWire(addr string, conns int) (*WireTarget, error) {
+	if conns <= 0 {
+		conns = 1
+	}
+	t := &WireTarget{clients: make([]*wire.Client, 0, conns)}
+	for i := 0; i < conns; i++ {
+		c, err := wire.Dial(addr)
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.clients = append(t.clients, c)
+	}
+	return t, nil
+}
+
+// Close tears down every connection.
+func (t *WireTarget) Close() {
+	for _, c := range t.clients {
+		c.Close() //nolint:errcheck // teardown
+	}
+}
+
+// Do sends one shape as a wire request, round-robining connections.
+// The request deadline is derived from ctx by the client, so deadline
+// experiments propagate to the server.
+func (t *WireTarget) Do(ctx context.Context, s Shape) Outcome {
+	c := t.clients[t.next.Add(1)%uint64(len(t.clients))]
+	resp, err := c.Do(ctx, wire.Request{
+		Query:  s.Query,
+		DCs:    s.DCs(),
+		Tuples: uint32(s.Tuples),
+		Seed:   s.Seed,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return Outcome{Class: ClassDeadline}
+		}
+		return Outcome{Class: ClassTransport}
+	}
+	return Outcome{Class: classOfStatus(resp.Status), CacheHit: resp.CacheHit}
+}
+
+// classOfStatus maps a wire status onto the outcome taxonomy.
+func classOfStatus(st wire.Status) Class {
+	switch st {
+	case wire.StatusOK:
+		return ClassOK
+	case wire.StatusOverloaded:
+		return ClassOverloaded
+	case wire.StatusDeadline:
+		return ClassDeadline
+	case wire.StatusCanceled:
+		return ClassCanceled
+	case wire.StatusBudget:
+		return ClassBudget
+	case wire.StatusInvalid:
+		return ClassInvalid
+	default:
+		return ClassInternal
+	}
+}

@@ -1,6 +1,8 @@
 package qos
 
 import (
+	"fmt"
+	"math/bits"
 	"sync/atomic"
 	"time"
 
@@ -108,6 +110,39 @@ func (a DegradeAction) String() string {
 	return "unknown"
 }
 
+// NumBatchBuckets sizes the coalesced-batch occupancy histogram:
+// bucket 0 counts dispatches of exactly 1 request (no coalescing
+// happened), bucket i (i ≥ 1) counts dispatches of (2^{i-1}, 2^i]
+// requests, with the last bucket absorbing the tail.
+const NumBatchBuckets = 8
+
+// BatchBucketLabel names histogram bucket i for exposition: "1", "2",
+// "le4", ..., "gt64".
+func BatchBucketLabel(i int) string {
+	switch {
+	case i == 0:
+		return "1"
+	case i == 1:
+		return "2"
+	case i < NumBatchBuckets-1:
+		return fmt.Sprintf("le%d", 1<<i)
+	default:
+		return fmt.Sprintf("gt%d", 1<<(NumBatchBuckets-2))
+	}
+}
+
+// batchBucket maps a dispatch size onto its histogram bucket.
+func batchBucket(size int) int {
+	if size < 1 {
+		size = 1
+	}
+	b := bits.Len(uint(size - 1)) // 1→0, 2→1, 3..4→2, 5..8→3, ...
+	if b >= NumBatchBuckets {
+		b = NumBatchBuckets - 1
+	}
+	return b
+}
+
 // Ledger counts admission and degradation decisions, lock-free. Every
 // request is counted exactly once as admitted or shed at submission;
 // reroutes and per-stage deadline failures are counted as they happen,
@@ -122,6 +157,7 @@ type Ledger struct {
 
 	batches     atomic.Int64
 	batchedReqs atomic.Int64
+	batchSizes  [NumBatchBuckets]atomic.Int64
 }
 
 // Admit counts one request entering lane's queue.
@@ -141,10 +177,12 @@ func (l *Ledger) Deadline(stage DeadlineStage) { l.deadline[stage].Add(1) }
 func (l *Ledger) Degrade(action DegradeAction) { l.degraded[action].Add(1) }
 
 // Batch counts one coalesced vm dispatch covering size requests, so
-// mean batch occupancy is BatchedRequests / Batches.
+// mean batch occupancy is BatchedRequests / Batches. The dispatch is
+// also recorded in the batch-size histogram.
 func (l *Ledger) Batch(size int) {
 	l.batches.Add(1)
 	l.batchedReqs.Add(int64(size))
+	l.batchSizes[batchBucket(size)].Add(1)
 }
 
 // LaneStats is a point-in-time gauge set for one admission lane.
@@ -169,9 +207,73 @@ type Snapshot struct {
 	EvalP95  time.Duration
 
 	// Batches / BatchedRequests describe vm batch coalescing: mean
-	// occupancy is BatchedRequests / Batches.
+	// occupancy is BatchedRequests / Batches. BatchSizes is the
+	// dispatch-occupancy histogram; bucket i is labeled
+	// BatchBucketLabel(i).
 	Batches         int64
 	BatchedRequests int64
+	BatchSizes      [NumBatchBuckets]int64
+}
+
+// Merge sums counter snapshots from several ledgers (one per engine
+// shard) into one exposition-ready snapshot. Counters add; lane gauges
+// add by lane name in first-seen order; Level and EvalP95 take the max
+// across shards — the most-degraded shard is what a load balancer or
+// operator needs to see.
+func Merge(snaps ...Snapshot) Snapshot {
+	m := Snapshot{
+		Admitted: make(map[string]int64),
+		Shed:     make(map[string]map[string]int64),
+		Deadline: make(map[string]int64),
+		Degraded: make(map[string]int64),
+	}
+	laneIdx := make(map[string]int)
+	for _, s := range snaps {
+		for lane, v := range s.Admitted {
+			m.Admitted[lane] += v
+		}
+		for lane, by := range s.Shed {
+			mb := m.Shed[lane]
+			if mb == nil {
+				mb = make(map[string]int64, len(by))
+				m.Shed[lane] = mb
+			}
+			for r, v := range by {
+				mb[r] += v
+			}
+		}
+		for st, v := range s.Deadline {
+			m.Deadline[st] += v
+		}
+		for a, v := range s.Degraded {
+			m.Degraded[a] += v
+		}
+		m.Rerouted += s.Rerouted
+		m.Batches += s.Batches
+		m.BatchedRequests += s.BatchedRequests
+		for i, v := range s.BatchSizes {
+			m.BatchSizes[i] += v
+		}
+		for _, ls := range s.Lanes {
+			i, ok := laneIdx[ls.Lane]
+			if !ok {
+				i = len(m.Lanes)
+				laneIdx[ls.Lane] = i
+				m.Lanes = append(m.Lanes, LaneStats{Lane: ls.Lane})
+			}
+			m.Lanes[i].Queued += ls.Queued
+			m.Lanes[i].Depth += ls.Depth
+			m.Lanes[i].Workers += ls.Workers
+			m.Lanes[i].InFlight += ls.InFlight
+		}
+		if s.Level > m.Level {
+			m.Level = s.Level
+		}
+		if s.EvalP95 > m.EvalP95 {
+			m.EvalP95 = s.EvalP95
+		}
+	}
+	return m
 }
 
 // TotalShed sums shed counts across lanes and reasons.
@@ -215,6 +317,9 @@ func (l *Ledger) Snapshot() Snapshot {
 		Batches:         l.batches.Load(),
 		BatchedRequests: l.batchedReqs.Load(),
 	}
+	for i := range l.batchSizes {
+		s.BatchSizes[i] = l.batchSizes[i].Load()
+	}
 	for lane := Lane(0); lane < NumLanes; lane++ {
 		s.Admitted[lane.String()] = l.admitted[lane].Load()
 		by := make(map[string]int64, numShedReasons)
@@ -257,6 +362,14 @@ func (s Snapshot) Families() []obs.Family {
 	batchedReqs := obs.Family{Name: "circuitql_qos_vm_batched_requests_total",
 		Help: "Requests served through coalesced vm batches.", Type: obs.TypeCounter,
 		Samples: []obs.Sample{{Value: float64(s.BatchedRequests)}}}
+	batchSizes := obs.Family{Name: "circuitql_qos_vm_batch_size_total",
+		Help: "Coalesced vm batch dispatches by occupancy bucket.", Type: obs.TypeCounter}
+	for i, v := range s.BatchSizes {
+		batchSizes.Samples = append(batchSizes.Samples, obs.Sample{
+			Labels: []obs.Label{{Name: "size", Value: BatchBucketLabel(i)}},
+			Value:  float64(v),
+		})
+	}
 	level := obs.Family{Name: "circuitql_qos_degradation_level",
 		Help: "Current degradation-ladder level (0 normal, 1 pressure, 2 critical).", Type: obs.TypeGauge,
 		Samples: []obs.Sample{{Value: float64(s.Level)}}}
@@ -290,5 +403,5 @@ func (s Snapshot) Families() []obs.Family {
 		depth.Samples = append(depth.Samples, obs.Sample{Labels: lbl, Value: float64(ls.Depth)})
 		inflight.Samples = append(inflight.Samples, obs.Sample{Labels: lbl, Value: float64(ls.InFlight)})
 	}
-	return []obs.Family{admitted, shed, rerouted, deadline, degraded, batches, batchedReqs, queue, depth, inflight, level}
+	return []obs.Family{admitted, shed, rerouted, deadline, degraded, batches, batchedReqs, batchSizes, queue, depth, inflight, level}
 }

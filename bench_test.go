@@ -807,3 +807,70 @@ func BenchmarkServeSharded(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWarmStart is the restart-cost benchmark behind the plan
+// store: acquiring the triangle/path3/cycle4 plans by warm-loading a
+// populated store (what a restarted circuitd -store does before its
+// first request) versus compiling the same set from scratch. The
+// acceptance bar is warm ≥10× faster than cold.
+func BenchmarkWarmStart(b *testing.B) {
+	type shape struct {
+		q   *Query
+		dcs DCSet
+	}
+	var shapes []shape
+	for _, q := range []*query.Query{query.Triangle(), query.Path3(), query.Cycle4()} {
+		db := workload.ForQuery(q, 1, 12)
+		dcs, err := query.DeriveDC(q, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		shapes = append(shapes, shape{q: q, dcs: dcs})
+	}
+
+	// Populate one store with all three compiled plans.
+	dir := b.TempDir()
+	st, err := OpenPlanStore(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(EngineConfig{Store: st})
+	for _, s := range shapes {
+		db := workload.ForQuery(s.q, 1, 12)
+		if r := e.Serve(context.Background(), s.q, s.dcs, db); r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cold-compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, s := range shapes {
+				if _, err := Compile(s.q, s.dcs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("warm-start", func(b *testing.B) {
+		var compiles int64
+		for i := 0; i < b.N; i++ {
+			st, err := OpenPlanStore(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := NewEngine(EngineConfig{Store: st, WarmStart: true})
+			m := e.Metrics()
+			if m.CachedPlans < len(shapes) {
+				b.Fatalf("warm-load promoted %d plans, want %d", m.CachedPlans, len(shapes))
+			}
+			compiles += m.Compiles
+			if err := e.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(compiles), "compiles")
+	})
+}

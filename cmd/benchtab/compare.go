@@ -156,8 +156,29 @@ func benchCompare(in, out, baseline, gate string, thresholdPct float64) int {
 					name, b.NsPerOp, cur[name].NsPerOp, delta, thresholdPct))
 		}
 	}
+	// Baseline entries that the run never exercised would otherwise
+	// vanish from the table — a renamed or deleted benchmark silently
+	// un-gates itself. Every baseline name must appear in the run.
+	var missing []string
+	for name := range base.Benchmarks {
+		if _, ok := cur[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		tb.Row(name, base.Benchmarks[name].NsPerOp, "-", "MISSING", mark(gateRE.MatchString(name)))
+	}
 	fmt.Print(tb)
 
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: %d baseline benchmark(s) absent from this run (renamed or deleted? update %s):\n",
+			len(missing), baseline)
+		for _, name := range missing {
+			fmt.Fprintln(os.Stderr, "  "+name)
+		}
+		return 1
+	}
 	if !gatedSeen {
 		fmt.Fprintf(os.Stderr, "benchtab: no benchmark matched gate %q — the perf gate would be vacuous\n", gate)
 		return 1

@@ -7,9 +7,22 @@
 // Usage:
 //
 //	circuitc -query 'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)' -n 64 [-gates] [-no-oblivious] [-no-opt]
+//
+// With -store DIR the fully compiled plan (post-optimization, with its
+// packing metadata) is persisted into a plan-store directory under its
+// canonical fingerprint, ready for circuitd -store to warm-load:
+//
+//	circuitc -query '...' -store /var/lib/circuitql/plans
+//
+// With -export DIR a generated workload database for the query is
+// written as columnar relation files (-export-n tuples per relation,
+// -export-seed), ready for circuitd -db:
+//
+//	circuitc -query '...' -export /var/lib/circuitql/db -export-n 64
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +32,9 @@ import (
 	"circuitql/internal/core"
 	"circuitql/internal/opt"
 	"circuitql/internal/panda"
+	"circuitql/internal/query"
+	"circuitql/internal/store"
+	"circuitql/internal/workload"
 )
 
 func main() {
@@ -34,6 +50,10 @@ func main() {
 		noOpt     = flag.Bool("no-opt", false, "skip the optimizer passes (print the constructions' raw sizes)")
 		dotPath   = flag.String("dot", "", "write the relational circuit as Graphviz DOT to this file")
 		savePath  = flag.String("save", "", "write the oblivious circuit artifact to this file")
+		storeDir  = flag.String("store", "", "persist the compiled plan into this plan-store directory (circuitd -store warm-loads it)")
+		exportDir = flag.String("export", "", "write a generated workload database for the query as columnar files under this directory (circuitd -db serves it)")
+		exportN   = flag.Int("export-n", 16, "tuples per relation for -export")
+		exportSd  = flag.Int64("export-seed", 1, "generator seed for -export")
 	)
 	flag.Parse()
 
@@ -137,6 +157,39 @@ func main() {
 		}
 		fmt.Printf("widths:           fhtw=%s  da-fhtw=%s bits  da-subw=%s bits\n",
 			w.Fhtw.RatString(), w.DAFhtw.RatString(), w.DASubw.RatString())
+	}
+
+	if *storeDir != "" {
+		// The engine compiles the canonicalized pair, so persist exactly
+		// that: the artifact's fingerprint then matches what circuitd
+		// computes for any structurally identical request.
+		canon, err := query.Canonicalize(q, dcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		compiled, err := core.CompileQueryOptsCtx(context.Background(), canon.Query, canon.DCs,
+			core.CompileOptions{NoOpt: *noOpt})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := st.PutPlan(store.FromCompiled(canon, compiled)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("stored plan:      %s under %s (%d plans in store)\n",
+			canon.FP.Short(), *storeDir, st.Len())
+	}
+
+	if *exportDir != "" {
+		db := workload.ForQuery(q, *exportSd, *exportN)
+		if err := store.ExportDB(*exportDir, db); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("exported db:      %d relations x %d tuples under %s\n",
+			len(db), *exportN, *exportDir)
 	}
 }
 

@@ -45,6 +45,17 @@
 //	circuitd -listen :7420 -shards 8 -batch-size 8 </dev/null &
 //	circuitload -addr :7420 -clients 16 -duration 10s
 //
+// With -store DIR compiled plans persist across restarts: every compile
+// is written back to a checksummed artifact store and the store is
+// warm-loaded into the plan caches on start, so a restarted daemon
+// serves every previously-seen shape with zero compiles:
+//
+//	circuitd -store /var/lib/circuitql/plans
+//
+// With -db DIR requests evaluate against a columnar database directory
+// (written by circuitc -export or ExportColumnarDB) instead of
+// generated workloads.
+//
 // Overload protection: -max-inflight caps concurrent evaluation,
 // -queue-depth bounds each admission lane, and -shed-policy picks what a
 // full lane does (block, shed with a typed retry-after error, or
@@ -101,6 +112,8 @@ func run() int {
 		shards     = flag.Int("shards", 0, "engine shards routed by plan fingerprint, each with its own cache and lanes (0: 1)")
 		batchSize  = flag.Int("batch-size", 0, "max same-fingerprint requests coalesced into one vm batch (<=1: off)")
 		batchWin   = flag.Duration("batch-window", 0, "how long a fresh batch waits for companions (0: 250µs when -batch-size enables coalescing)")
+		storeDir   = flag.String("store", "", "persistent plan store directory: compiled plans are written back and warm-loaded on start, so a restart never recompiles a known shape")
+		dbDir      = flag.String("db", "", "columnar database directory (see circuitc -export); requests evaluate against it instead of generated workloads")
 	)
 	flag.Parse()
 
@@ -111,6 +124,38 @@ func run() int {
 	}
 	if *inflight == 0 && *workers != 0 {
 		*inflight = *workers // -workers is the legacy spelling
+	}
+
+	// The persistent plan store makes compiled plans durable: every
+	// compile is written back, and warm-start promotes the whole store
+	// into the plan caches before the first request, so a restarted
+	// daemon serves known shapes with zero compiles.
+	var planStore *circuitql.PlanStore
+	if *storeDir != "" {
+		var err error
+		planStore, err = circuitql.OpenPlanStore(*storeDir)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("plan store at %s (%d plans to warm-load)", *storeDir, planStore.Len())
+	}
+
+	// A columnar database replaces the generated workloads: every
+	// request line evaluates against the relations on disk.
+	var fixedDB circuitql.Database
+	if *dbDir != "" {
+		cdb, err := circuitql.OpenColumnarDB(*dbDir)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		fixedDB, err = cdb.Load()
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("columnar database at %s (%d relations)", *dbDir, len(fixedDB))
 	}
 
 	// The admin listener implies per-request tracing: every request's
@@ -131,6 +176,8 @@ func run() int {
 		Shards:         *shards,
 		BatchMaxSize:   *batchSize,
 		BatchWindow:    *batchWin,
+		Store:          planStore,
+		WarmStart:      planStore != nil,
 	})
 	// Deadline-bounded drain instead of a plain Close: queued requests
 	// get *drain to finish; engine-owned compiles are canceled past it.
@@ -234,7 +281,7 @@ serve:
 			if line == "" || strings.HasPrefix(line, "#") {
 				continue
 			}
-			if err := serveLine(eng, line, *n, *seed, *timeout, *gateBudget); err != nil {
+			if err := serveLine(eng, line, *n, *seed, *timeout, *gateBudget, fixedDB); err != nil {
 				failures++
 				fmt.Printf("line %d: error: %v\n", lineNo, err)
 			}
@@ -287,14 +334,18 @@ func parseShedPolicy(s string) (circuitql.ShedPolicy, error) {
 }
 
 // serveLine parses one "query [; constraints]" line, builds its
-// workload, and serves it through the engine.
-func serveLine(eng *circuitql.Engine, line string, n int, seed int64, timeout time.Duration, gateBudget int64) error {
+// workload (or serves the fixed columnar database when one was loaded),
+// and serves it through the engine.
+func serveLine(eng *circuitql.Engine, line string, n int, seed int64, timeout time.Duration, gateBudget int64, fixedDB circuitql.Database) error {
 	src, dcSrc, hasDC := strings.Cut(line, ";")
 	q, err := circuitql.ParseQuery(strings.TrimSpace(src))
 	if err != nil {
 		return err
 	}
-	db := workload.ForQuery(q, seed, n)
+	db := fixedDB
+	if db == nil {
+		db = workload.ForQuery(q, seed, n)
+	}
 	dcs, err := circuitql.DeriveConstraints(q, db)
 	if err != nil {
 		return err

@@ -11,8 +11,11 @@ import (
 	"sync"
 	"testing"
 
+	"circuitql/internal/core"
 	"circuitql/internal/query"
+	"circuitql/internal/store"
 	"circuitql/internal/testutil"
+	"circuitql/internal/vm"
 )
 
 const diffSeeds = 3
@@ -238,6 +241,95 @@ func TestDifferentialDerivedConstraints(t *testing.T) {
 					}
 					if d := testutil.DiffRows(testutil.Rows(want), testutil.Rows(got), "RAM", tier); d != "" {
 						t.Errorf("seed %d: %s diverges: %s", seed, tier, d)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialStoreRoundTrip adds the persistence tier to the
+// harness: every full catalog query is compiled on its canonical pair,
+// persisted into a plan store, and reloaded through a second store
+// handle (as a restarted process would). On every seeded database the
+// reloaded plan's oblivious and vectorized evaluations must agree with
+// the RAM reference and with the never-persisted compile — a plan that
+// survives the disk round trip changes no answer.
+func TestDifferentialStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range query.Catalog() {
+		if !ent.Query.IsFull() || diffViaOutputSensitive[ent.Name] {
+			continue
+		}
+		t.Run(ent.Name, func(t *testing.T) {
+			n := diffN(ent.Name)
+			dcs := UniformCardinalities(ent.Query, float64(n))
+			canon, err := query.Canonicalize(ent.Query, dcs)
+			if err != nil {
+				t.Fatalf("canonicalize: %v", err)
+			}
+			fresh, err := core.CompileQuery(canon.Query, canon.DCs)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if err := st.PutPlan(store.FromCompiled(canon, fresh)); err != nil {
+				t.Fatalf("persist: %v", err)
+			}
+			st2, err := store.Open(dir)
+			if err != nil {
+				t.Fatalf("reopen store: %v", err)
+			}
+			a, err := st2.GetPlan(canon.FP)
+			if err != nil {
+				t.Fatalf("reload: %v", err)
+			}
+			warm, wcanon, err := a.Compiled()
+			if err != nil {
+				t.Fatalf("reassemble: %v", err)
+			}
+			if wcanon.FP != canon.FP {
+				t.Fatalf("reloaded fingerprint %s, want %s", wcanon.FP.Short(), canon.FP.Short())
+			}
+			prog, err := vm.Compile(context.Background(), warm.Obliv.C)
+			if err != nil {
+				t.Fatalf("vm compile of reloaded plan: %v", err)
+			}
+			for seed := int64(1); seed <= diffSeeds; seed++ {
+				db := testutil.RandomDB(canon.Query, seed, n)
+				want, err := EvaluateRAM(canon.Query, db)
+				if err != nil {
+					t.Fatalf("seed %d: RAM: %v", seed, err)
+				}
+				wantRows := testutil.Rows(want)
+				tiers := []struct {
+					name string
+					eval func() (*Relation, error)
+				}{
+					{"fresh-oblivious", func() (*Relation, error) { return fresh.EvaluateOblivious(db) }},
+					{"store-oblivious", func() (*Relation, error) { return warm.EvaluateOblivious(db) }},
+					{"store-vm", func() (*Relation, error) {
+						packed, err := warm.PackOblivious(db)
+						if err != nil {
+							return nil, err
+						}
+						outs, err := prog.EvalBatch(context.Background(), [][]vm.Word{packed})
+						if err != nil {
+							return nil, err
+						}
+						return warm.DecodeOblivious(outs[0])
+					}},
+				}
+				for _, tier := range tiers {
+					got, err := tier.eval()
+					if err != nil {
+						t.Fatalf("seed %d: %s: %v", seed, tier.name, err)
+					}
+					if d := testutil.DiffRows(wantRows, testutil.Rows(got), "RAM", tier.name); d != "" {
+						t.Errorf("seed %d: %s diverges: %s", seed, tier.name, d)
 					}
 				}
 			}

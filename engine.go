@@ -19,6 +19,7 @@ import (
 	"circuitql/internal/engine"
 	"circuitql/internal/qos"
 	"circuitql/internal/query"
+	"circuitql/internal/store"
 )
 
 // EngineConfig sizes an Engine; see the field docs in internal/engine.
@@ -92,6 +93,38 @@ type Fingerprint = query.Fingerprint
 func QueryFingerprint(q *Query, dcs DCSet) (Fingerprint, error) {
 	return query.QueryFingerprint(q, dcs)
 }
+
+// PlanStore is a persistent plan-artifact store: compiled plans survive
+// process restarts as versioned, checksummed files keyed by canonical
+// fingerprint, written atomically so a crash can never corrupt a
+// visible artifact. Set EngineConfig.Store to one (with WarmStart) and
+// a restarted engine serves every previously-compiled shape without
+// recompiling.
+type PlanStore = store.Store
+
+// PlanStoreStats is a snapshot of a PlanStore's counters: resident
+// plans, disk hits/misses, writes, quarantined corruption, and bytes
+// moved.
+type PlanStoreStats = store.Stats
+
+// OpenPlanStore opens (creating if needed) a plan store rooted at dir,
+// sweeping any torn writes a previous crash left behind and reconciling
+// the index against the artifacts actually present.
+func OpenPlanStore(dir string) (*PlanStore, error) { return store.Open(dir) }
+
+// ColumnarDB is an on-disk columnar database directory: one
+// dictionary-compressed, checksummed file per relation, scannable block
+// by block without materializing in-memory relations.
+type ColumnarDB = store.DB
+
+// ExportColumnarDB writes every relation of db as a columnar file under
+// dir (atomically, one file per relation); see OpenColumnarDB to read
+// it back.
+func ExportColumnarDB(dir string, db Database) error { return store.ExportDB(dir, db) }
+
+// OpenColumnarDB opens a columnar database directory written by
+// ExportColumnarDB (or circuitc -export).
+func OpenColumnarDB(dir string) (*ColumnarDB, error) { return store.OpenDB(dir) }
 
 // Engine is a long-lived serving engine over the compile/evaluate
 // pipeline. Create with NewEngine, stop with Close. Safe for concurrent

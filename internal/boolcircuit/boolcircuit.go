@@ -74,7 +74,12 @@ type Circuit struct {
 	inputs  []int // gate ids of inputs in allocation order
 	outputs []int
 	hash    map[Gate]int
-	maxDep  int32
+	// hashStale defers the structural-hash table after deserialization:
+	// a circuit read from the wire is usually only evaluated, and
+	// filling the map is the dominant cost of Read. The first push
+	// rebuilds it from the gate list.
+	hashStale bool
+	maxDep    int32
 
 	levelMu     sync.Mutex // guards the level cache for concurrent evaluators
 	levelCache  [][]int32  // lazily built depth buckets for parallel evaluation
@@ -121,6 +126,14 @@ func (c *Circuit) MarkOutput(w int) {
 }
 
 func (c *Circuit) push(g Gate) int {
+	if c.hashStale {
+		for id, old := range c.gates {
+			if old.Op != OpInput {
+				c.hash[old] = id
+			}
+		}
+		c.hashStale = false
+	}
 	if g.Op != OpInput {
 		if id, ok := c.hash[g]; ok {
 			return id

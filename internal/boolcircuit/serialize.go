@@ -184,10 +184,11 @@ func Read(r io.Reader) (*Circuit, error) {
 		}
 		if g.Op == OpInput {
 			c.inputs = append(c.inputs, i)
-		} else {
-			c.hash[g] = i
 		}
 	}
+	// The structural-hash table is only needed if the circuit grows
+	// again; defer it (see push) so read-to-evaluate stays cheap.
+	c.hashStale = true
 
 	outCount, err := binary.ReadUvarint(br)
 	if err != nil {

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+
+	"circuitql/internal/opcircuits"
+	"circuitql/internal/query"
+	"circuitql/internal/relation"
+)
+
+// TupleSource streams one relation's tuples for packing. It is the
+// minimal shape PackObliviousSource needs, satisfied both by in-memory
+// relations (RelationSource) and by the columnar on-disk scans in
+// internal/store — the latter is the point: a database can feed the
+// oblivious circuit block by block without ever materializing
+// string-keyed Relations.
+type TupleSource interface {
+	// Arity returns the number of attributes per tuple.
+	Arity() int
+	// Each calls fn for every tuple. The tuple is only valid during
+	// the callback (implementations may reuse buffers); a non-nil
+	// error from fn stops the scan and is returned.
+	Each(fn func(relation.Tuple) error) error
+}
+
+// RelationSource adapts an in-memory Relation to a TupleSource.
+type RelationSource struct{ R *relation.Relation }
+
+// Arity implements TupleSource.
+func (s RelationSource) Arity() int { return s.R.Arity() }
+
+// Each implements TupleSource.
+func (s RelationSource) Each(fn func(relation.Tuple) error) error {
+	var err error
+	s.R.Each(func(t relation.Tuple) {
+		if err == nil {
+			err = fn(t)
+		}
+	})
+	return err
+}
+
+// errStopPack is the sentinel Each-abort used when a capacity or
+// sentinel check fails mid-stream.
+var errStopPack = fmt.Errorf("core: pack stopped")
+
+// PackObliviousSource is PackOblivious fed by streams instead of a
+// materialized database: lookup returns a TupleSource per base-relation
+// name. When the fast pack plan resolves (every oblivious input spec
+// maps back to a query atom — true for every catalog query), each
+// source is streamed exactly once per spec straight into the flat input
+// buffer. When it does not, the sources are materialized and the
+// general PackOblivious route runs.
+func (cq *Compiled) PackObliviousSource(lookup func(name string) (TupleSource, error)) ([]int64, error) {
+	cq.packOnce.Do(cq.buildPackPlan)
+	if cq.packPlan == nil {
+		// General route needs random-access relations; materialize.
+		db := make(query.Database)
+		for i := range cq.Query.Atoms {
+			name := cq.Query.Atoms[i].Name
+			if _, ok := db[name]; ok {
+				continue
+			}
+			src, err := lookup(name)
+			if err != nil {
+				return nil, err
+			}
+			r, err := materializeSource(src, len(cq.Query.Atoms[i].Vars))
+			if err != nil {
+				return nil, fmt.Errorf("core: packing %q: %w", name, err)
+			}
+			db[name] = r
+		}
+		return cq.PackOblivious(db)
+	}
+
+	out := make([]int64, cq.packWidth)
+	off := 0
+	for si := range cq.packPlan {
+		ps := &cq.packPlan[si]
+		src, err := lookup(ps.atomName)
+		if err != nil {
+			return nil, err
+		}
+		if src.Arity() != ps.arity {
+			return nil, fmt.Errorf("core: relation %q has arity %d, atom uses %d variables",
+				ps.atomName, src.Arity(), ps.arity)
+		}
+		n, rowW := 0, 1+len(ps.cols)
+		var perr error
+		err = src.Each(func(t relation.Tuple) error {
+			for _, p := range ps.dupPairs {
+				if t[p[0]] != t[p[1]] {
+					return nil
+				}
+			}
+			if n >= ps.capacity {
+				perr = fmt.Errorf("core: packing %q: relation has more than %d tuples, capacity %d",
+					ps.atomName, n, ps.capacity)
+				return errStopPack
+			}
+			row := out[off+n*rowW : off+(n+1)*rowW]
+			row[0] = 1
+			for k, c := range ps.cols {
+				if t[c] == opcircuits.Sentinel {
+					perr = fmt.Errorf("core: packing %q: value collides with the reserved sentinel", ps.atomName)
+					return errStopPack
+				}
+				row[1+k] = t[c]
+			}
+			n++
+			return nil
+		})
+		if perr != nil {
+			return nil, perr
+		}
+		if err != nil {
+			return nil, err
+		}
+		off += ps.width
+	}
+	return out, nil
+}
+
+// materializeSource drains a TupleSource into a Relation with synthetic
+// positional attribute names (the PrepareDB fallback renames anyway).
+func materializeSource(src TupleSource, arity int) (*relation.Relation, error) {
+	if src.Arity() != arity {
+		return nil, fmt.Errorf("source has arity %d, atom uses %d variables", src.Arity(), arity)
+	}
+	schema := make([]string, arity)
+	for i := range schema {
+		schema[i] = fmt.Sprintf("c%d", i)
+	}
+	r := relation.New(schema...)
+	err := src.Each(func(t relation.Tuple) error {
+		r.Insert(t...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -41,6 +41,13 @@ func (m Metrics) Families() []obs.Family {
 		counter("circuitql_engine_compiles_total", "Compiles actually executed (post singleflight dedup).", m.Compiles),
 		counter("circuitql_engine_compile_errors_total", "Compiles that failed.", m.CompileErrors),
 		tierServed,
+		gauge("circuitql_plan_store_plans", "Plans currently resident in the persistent store.", m.StorePlans),
+		counter("circuitql_plan_store_hits_total", "Plan loads answered from the persistent store.", m.StoreHits),
+		counter("circuitql_plan_store_misses_total", "Plan lookups with no stored artifact.", m.StoreMisses),
+		counter("circuitql_plan_store_writes_total", "Plan artifacts written to the persistent store.", m.StoreWrites),
+		counter("circuitql_plan_store_corrupt_total", "Plan artifacts quarantined as corrupt.", m.StoreCorrupt),
+		counter("circuitql_plan_store_read_bytes_total", "Bytes read from the persistent store.", m.StoreBytesRead),
+		counter("circuitql_plan_store_written_bytes_total", "Bytes written to the persistent store.", m.StoreBytesWritten),
 		m.CompileLatency.family("circuitql_engine_compile_duration_seconds",
 			"Latency of plan compilation (one observation per executed compile)."),
 		m.EvalLatency.family("circuitql_engine_eval_duration_seconds",

@@ -57,6 +57,7 @@ import (
 	"circuitql/internal/qos"
 	"circuitql/internal/query"
 	"circuitql/internal/relation"
+	"circuitql/internal/store"
 	"circuitql/internal/vm"
 )
 
@@ -173,6 +174,19 @@ type Config struct {
 	// companions before dispatching alone. 0 selects 250µs when
 	// BatchMaxSize enables coalescing.
 	BatchWindow time.Duration
+	// Store, when set, is the persistent plan store (internal/store):
+	// compile misses check it before compiling — a disk hit promotes
+	// the stored plan into the cache without running the compiler —
+	// fresh compiles persist their plan, and LRU-evicted compiled plans
+	// write back. One Store is shared by all shards (it is
+	// concurrency-safe); the fingerprint keying makes shard ownership
+	// irrelevant on disk.
+	Store *store.Store
+	// WarmStart, with Store set, loads every stored plan into the shard
+	// plan caches at New, so a restarted engine serves every previously
+	// compiled shape without a single compile. Plans beyond the cache
+	// budget are evicted normally (they stay on disk).
+	WarmStart bool
 }
 
 func (c Config) withDefaults() Config {
@@ -754,7 +768,11 @@ func (e *shard) plan(ctx context.Context, canon *query.Canonical, lane qos.Lane)
 
 // runFlight leads one compile flight to completion on the engine-scoped
 // context. reqCtx is only mined for values (budget, tracer, injector) —
-// its cancellation does not propagate.
+// its cancellation does not propagate. The persistent store, when
+// configured, is consulted before the compiler: a disk hit promotes the
+// stored plan into the cache and the compiler never runs (Compiles does
+// not move), which is what makes a restart against a warm store serve
+// every known shape compile-free.
 func (e *shard) runFlight(fl *flight, canon *query.Canonical, reqCtx context.Context) {
 	defer e.compileWG.Done()
 	cctx := e.lifeCtx
@@ -769,17 +787,95 @@ func (e *shard) runFlight(fl *flight, canon *query.Canonical, reqCtx context.Con
 	if sp := obs.SpanFromContext(reqCtx); sp != nil {
 		cctx = obs.WithSpan(cctx, sp)
 	}
-	ent, err := e.compile(cctx, canon)
+	ent := e.loadStored(cctx, canon)
+	var err error
+	if ent == nil {
+		ent, err = e.compile(cctx, canon)
+	}
+	var victims []*entry
 	e.mu.Lock()
 	if err == nil && !ent.uncached {
-		if n := e.cache.add(ent); n > 0 {
-			e.evictions.Add(int64(n))
-		}
+		victims = e.cache.add(ent)
+		e.evictions.Add(int64(len(victims)))
 	}
 	fl.ent, fl.err = ent, err
 	e.flights.leave(canon.FP)
 	e.mu.Unlock()
 	close(fl.done)
+	// Persistence happens after the flight resolves so followers are
+	// never held behind a disk write; PutPlan is atomic, so a crash here
+	// at worst loses the artifact, never corrupts the store.
+	if err == nil {
+		e.persist(ent)
+	}
+	for _, v := range victims {
+		e.persist(v)
+	}
+}
+
+// loadStored tries to serve a compile miss from the persistent store.
+// nil (with no error distinction) means "not stored, or unusable" — the
+// caller compiles; the store quarantines corrupt artifacts itself.
+func (e *shard) loadStored(ctx context.Context, canon *query.Canonical) *entry {
+	st := e.cfg.Store
+	if st == nil {
+		return nil
+	}
+	_, sp := obs.StartSpan(ctx, obs.StageStore)
+	defer sp.End()
+	a, err := st.GetPlan(canon.FP)
+	if err != nil {
+		sp.SetError(err)
+		return nil
+	}
+	ent, err := entryFromArtifact(a, canon)
+	if err != nil {
+		sp.SetError(err)
+		return nil
+	}
+	sp.AddInt(obs.CounterGates, ent.gates)
+	return ent
+}
+
+// entryFromArtifact builds a cache entry around a stored plan. canon
+// may be nil (warm start has no request); the artifact's own
+// re-canonicalization is used then.
+func entryFromArtifact(a *store.PlanArtifact, canon *query.Canonical) (*entry, error) {
+	compiled, artCanon, err := a.Compiled()
+	if err != nil {
+		return nil, err
+	}
+	if canon == nil {
+		canon = artCanon
+	}
+	ent := &entry{
+		fp:        a.FP,
+		canon:     canon,
+		compiled:  compiled,
+		gates:     a.Gates,
+		wideLevel: a.WideLevel,
+	}
+	if ent.gates < 1 {
+		ent.gates = 1
+	}
+	ent.stored.Store(true)
+	return ent, nil
+}
+
+// persist writes a compiled plan to the persistent store, once. Only
+// positive, cacheable entries with their relational layer intact are
+// candidates (a warm-loaded entry is already on disk and its stored
+// flag is set). Failures are recorded in the store's counters and the
+// entry stays unpersisted — the next eviction retries.
+func (e *shard) persist(ent *entry) {
+	st := e.cfg.Store
+	if st == nil || ent == nil || ent.compiled == nil || ent.compiled.Rel == nil ||
+		ent.uncached || ent.stored.Load() {
+		return
+	}
+	if err := st.PutPlan(store.FromCompiled(ent.canon, ent.compiled)); err == nil {
+		ent.stored.Store(true)
+	}
 }
 
 // transientErr reports whether a flight failure is tied to the leading
@@ -855,13 +951,15 @@ func (e *shard) compile(ctx context.Context, canon *query.Canonical) (*entry, er
 
 // chargeVM re-accounts the plan cache after an entry's vm program
 // compiled: the program's footprint joins the entry's charged cost, and
-// colder plans are evicted if the budget is now exceeded.
+// colder plans are evicted if the budget is now exceeded (compiled
+// victims write back to the persistent store).
 func (e *shard) chargeVM(ent *entry, extra int64) {
 	e.mu.Lock()
-	n := e.cache.recharge(ent, extra)
+	victims := e.cache.recharge(ent, extra)
 	e.mu.Unlock()
-	if n > 0 {
-		e.evictions.Add(int64(n))
+	e.evictions.Add(int64(len(victims)))
+	for _, v := range victims {
+		e.persist(v)
 	}
 }
 
@@ -934,12 +1032,17 @@ func (e *shard) evaluate(ctx context.Context, ent *entry, req Request, stage *qo
 				}},
 			)
 		}
-		tiers = append(tiers,
-			tier{TierRelational, func(ctx context.Context) (out *relation.Relation, err error) {
-				defer guard.Recover(&err)
-				return ent.compiled.EvaluateRelationalCtx(ctx, req.DB, false)
-			}},
-		)
+		if ent.compiled.Rel != nil {
+			// A plan warm-loaded from the store has no relational layer
+			// (its gates carry closures with no wire format), so the
+			// ladder skips straight from the circuit tiers to RAM.
+			tiers = append(tiers,
+				tier{TierRelational, func(ctx context.Context) (out *relation.Relation, err error) {
+					defer guard.Recover(&err)
+					return ent.compiled.EvaluateRelationalCtx(ctx, req.DB, false)
+				}},
+			)
+		}
 	} else {
 		attempts = append(attempts, TierAttempt{Tier: TierOblivious, Err: ent.compileErr})
 	}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"circuitql/internal/core"
@@ -36,6 +37,14 @@ type entry struct {
 	// diagnosis worth remembering, not a life sentence.
 	expires time.Time
 	elem    *list.Element
+
+	// stored records that this plan is already persisted in the
+	// configured plan store (warm-loaded from it, or written after its
+	// compile), so eviction write-back and re-persist attempts skip it.
+	// Atomic: the compile flight and an eviction can race on it, and
+	// persisting twice is harmless (PutPlan is idempotent) — the flag
+	// only saves the re-encode.
+	stored atomic.Bool
 
 	// vmMu/vmProg/vmErr hold the entry's lazily-compiled vectorized
 	// program: the first vm-tier request pays the compile (a linear gate
@@ -153,15 +162,17 @@ func (c *planCache) peek(fp query.Fingerprint) *entry {
 }
 
 // add inserts an entry and evicts least-recently-used entries until the
-// cache is within its gate and plan budgets, returning how many were
-// evicted. The newest entry is never evicted, even if it alone exceeds
-// the budget — the request that compiled it still gets amortization for
-// immediate repeats, and the next insert will displace it normally.
-func (c *planCache) add(e *entry) (evicted int) {
+// cache is within its gate and plan budgets, returning the evicted
+// entries (so the owner can write compiled victims back to the plan
+// store after releasing its lock). The newest entry is never evicted,
+// even if it alone exceeds the budget — the request that compiled it
+// still gets amortization for immediate repeats, and the next insert
+// will displace it normally.
+func (c *planCache) add(e *entry) (evicted []*entry) {
 	if old, ok := c.entries[e.fp]; ok {
 		// Lost a benign race (flight cleared, recompiled): keep the old.
 		c.order.MoveToFront(old.elem)
-		return 0
+		return nil
 	}
 	if e.compileErr != nil && c.negTTL > 0 {
 		e.expires = c.now().Add(c.negTTL)
@@ -176,7 +187,7 @@ func (c *planCache) add(e *entry) (evicted int) {
 		c.order.Remove(back)
 		delete(c.entries, victim.fp)
 		c.gates -= victim.gates
-		evicted++
+		evicted = append(evicted, victim)
 	}
 	return evicted
 }
@@ -184,13 +195,14 @@ func (c *planCache) add(e *entry) (evicted int) {
 // recharge raises an entry's charged cost by extra after its vm program
 // compiled (the program's footprint was unknowable at insert time), and
 // evicts least-recently-used other entries until the cache is back
-// within its gate budget. The recharged entry itself is never evicted —
-// it is in active use by the request that triggered the compile. A
-// no-op when the entry has already been evicted or replaced.
-func (c *planCache) recharge(e *entry, extra int64) (evicted int) {
+// within its gate budget, returning the victims for write-back. The
+// recharged entry itself is never evicted — it is in active use by the
+// request that triggered the compile. A no-op when the entry has
+// already been evicted or replaced.
+func (c *planCache) recharge(e *entry, extra int64) (evicted []*entry) {
 	cur, ok := c.entries[e.fp]
 	if !ok || cur != e {
-		return 0
+		return nil
 	}
 	e.gates += extra
 	c.gates += extra
@@ -203,7 +215,7 @@ func (c *planCache) recharge(e *entry, extra int64) (evicted int) {
 		c.order.Remove(back)
 		delete(c.entries, victim.fp)
 		c.gates -= victim.gates
-		evicted++
+		evicted = append(evicted, victim)
 	}
 	return evicted
 }

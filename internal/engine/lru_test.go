@@ -23,7 +23,7 @@ func TestPlanCacheRecharge(t *testing.T) {
 	c.add(b) // b is now most recently used; both fit (80 ≤ 100)
 
 	// Recharging b by 30 pushes the total to 110 > 100: a (LRU) goes.
-	if n := c.recharge(b, 30); n != 1 {
+	if n := len(c.recharge(b, 30)); n != 1 {
 		t.Fatalf("recharge evicted %d entries, want 1", n)
 	}
 	if c.peek(a.fp) != nil {
@@ -38,7 +38,7 @@ func TestPlanCacheRecharge(t *testing.T) {
 
 	// Recharging the sole remaining entry past the budget keeps it (the
 	// in-use entry is never evicted) with the honest total recorded.
-	if n := c.recharge(b, 50); n != 0 {
+	if n := len(c.recharge(b, 50)); n != 0 {
 		t.Fatalf("sole-entry recharge evicted %d entries", n)
 	}
 	if c.gates != 120 || c.peek(b.fp) != b {
@@ -47,7 +47,7 @@ func TestPlanCacheRecharge(t *testing.T) {
 
 	// Recharging an entry that was evicted in the meantime is a no-op.
 	gone := testEntry(3, 10)
-	if n := c.recharge(gone, 99); n != 0 || c.gates != 120 {
+	if n := len(c.recharge(gone, 99)); n != 0 || c.gates != 120 {
 		t.Fatalf("stale recharge: evicted=%d gates=%d", n, c.gates)
 	}
 }

@@ -120,6 +120,18 @@ type Metrics struct {
 	CachedPlans int
 	CachedGates int64
 
+	// Persistent plan store (zero unless Config.Store is set). These are
+	// engine-wide totals taken from the store's own ledger, populated by
+	// Engine.Metrics after shard aggregation — per-shard snapshots leave
+	// them zero so the sum isn't multiplied by the shard count.
+	StorePlans        int64 // plans currently resident on disk
+	StoreHits         int64 // GetPlan calls answered from disk
+	StoreMisses       int64 // GetPlan calls with no artifact
+	StoreWrites       int64 // artifacts written (PutPlan, post-dedup)
+	StoreCorrupt      int64 // artifacts quarantined as corrupt
+	StoreBytesRead    int64
+	StoreBytesWritten int64
+
 	// Latency distributions.
 	CompileLatency LatencyHistogram
 	EvalLatency    LatencyHistogram
@@ -135,6 +147,11 @@ func (m Metrics) String() string {
 	fmt.Fprintf(&b, "compiles=%d errors=%d latency: %v\n", m.Compiles, m.CompileErrors, m.CompileLatency)
 	fmt.Fprintf(&b, "tiers: vm=%d oblivious=%d relational=%d ram=%d\n",
 		m.ServedVM, m.ServedOblivious, m.ServedRelational, m.ServedRAM)
+	if m.StorePlans > 0 || m.StoreHits > 0 || m.StoreWrites > 0 {
+		fmt.Fprintf(&b, "store: plans=%d hits=%d misses=%d writes=%d corrupt=%d read=%dB written=%dB\n",
+			m.StorePlans, m.StoreHits, m.StoreMisses, m.StoreWrites,
+			m.StoreCorrupt, m.StoreBytesRead, m.StoreBytesWritten)
+	}
 	fmt.Fprintf(&b, "eval latency: %v", m.EvalLatency)
 	return b.String()
 }

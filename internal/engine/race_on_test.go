@@ -1,0 +1,9 @@
+//go:build race
+
+package engine
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing assertions relax under its overhead: instrumentation taxes the
+// map-heavy plan decode far more than raw compilation, so speedup
+// ratios measured here understate the real ones.
+const raceEnabled = true

@@ -98,7 +98,39 @@ func New(cfg Config) *Engine {
 	for i := range e.shards {
 		e.shards[i] = newShard(cfg.shardSlice(i, cfg.Shards))
 	}
+	if cfg.Store != nil && cfg.WarmStart {
+		e.warmLoad()
+	}
 	return e
+}
+
+// warmLoad promotes every readable plan in the persistent store into
+// its owning shard's cache, so the first request for a known shape is a
+// cache hit — no compile, no disk read. Stored plans are visited in
+// deterministic fingerprint order; unreadable artifacts are skipped
+// (the store quarantines them) and plans beyond a shard's cache budget
+// are evicted normally, staying available on disk. Returns how many
+// plans were loaded.
+func (e *Engine) warmLoad() int {
+	st := e.cfg.Store
+	loaded := 0
+	for _, fp := range st.Plans() {
+		a, err := st.GetPlan(fp)
+		if err != nil {
+			continue
+		}
+		ent, err := entryFromArtifact(a, nil)
+		if err != nil {
+			continue
+		}
+		s := e.shardOf(fp)
+		s.mu.Lock()
+		victims := s.cache.add(ent)
+		s.evictions.Add(int64(len(victims)))
+		s.mu.Unlock()
+		loaded++
+	}
+	return loaded
 }
 
 // ShardCount reports how many shards the engine runs.
@@ -237,6 +269,18 @@ func (e *Engine) Metrics() Metrics {
 	m := e.shards[0].metrics()
 	for _, s := range e.shards[1:] {
 		m = m.add(s.metrics())
+	}
+	// Store counters come from the store's own engine-wide ledger, not
+	// the per-shard snapshots (which leave them zero).
+	if st := e.cfg.Store; st != nil {
+		ss := st.Stats()
+		m.StorePlans = int64(ss.Plans)
+		m.StoreHits = ss.Hits
+		m.StoreMisses = ss.Misses
+		m.StoreWrites = ss.Writes
+		m.StoreCorrupt = ss.Corrupt
+		m.StoreBytesRead = ss.BytesRead
+		m.StoreBytesWritten = ss.BytesWritten
 	}
 	return m
 }

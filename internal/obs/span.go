@@ -50,6 +50,7 @@ const (
 	StageBoolEval = "boolcircuit-eval" // oblivious word-circuit evaluation
 	StageVMComp   = "vm-compile"       // word circuit → vectorized SoA program (internal/vm)
 	StageVMEval   = "vm-eval"          // one batched vm evaluation (one span per batch)
+	StageStore    = "store-load"       // plan-store read + decode on a cache miss
 	StageTier     = "tier/"            // + tier name: one tier attempt of the ladder
 )
 

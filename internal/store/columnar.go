@@ -1,0 +1,546 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"circuitql/internal/guard"
+	"circuitql/internal/query"
+	"circuitql/internal/relation"
+)
+
+// RelFormatVersion is the on-disk columnar relation format version.
+// Any incompatible change to WriteColumnar's layout must bump it — the
+// golden format-compatibility test pins version 1 artifacts byte for
+// byte and fails the build otherwise.
+const RelFormatVersion = 1
+
+// relMagic opens every columnar relation file.
+const relMagic = "CQR1"
+
+// relExt is the columnar relation file suffix in a database directory.
+const relExt = ".col"
+
+// DefaultBlockRows is the row-block size WriteColumnar uses: one block
+// is the unit a scan decodes and hands out, so it bounds the memory a
+// streaming consumer holds regardless of relation size.
+const DefaultBlockRows = 1024
+
+// maxRelRows caps the row and dictionary counts the decoder will
+// believe, so adversarial headers cannot drive allocation.
+const maxRelRows = 1 << 31
+
+// colHeader is the JSON header inside the columnar envelope.
+type colHeader struct {
+	Version   int      `json:"version"`
+	Name      string   `json:"name"`
+	Schema    []string `json:"schema"`
+	Rows      int64    `json:"rows"`
+	BlockRows int      `json:"block_rows"`
+}
+
+// WriteColumnar serializes a relation in the columnar format:
+//
+//	magic "CQR1"
+//	uvarint header length, header JSON (version, name, schema, row
+//	  count, block size)
+//	per column: a sorted dictionary of the column's distinct values —
+//	  uvarint count, varint first value, uvarint deltas
+//	row blocks, each: uvarint row count, then column-major: that many
+//	  uvarint dictionary indexes per column
+//	SHA-256 of everything preceding it (32 bytes)
+//
+// Rows are written in the relation's canonical sorted order and
+// dictionaries are sorted, so equal relations encode to equal bytes —
+// the format-compatibility golden test relies on that.
+func WriteColumnar(w io.Writer, name string, r *relation.Relation) error {
+	schema := r.Schema()
+	head, err := json.Marshal(colHeader{
+		Version:   RelFormatVersion,
+		Name:      name,
+		Schema:    schema,
+		Rows:      int64(r.Len()),
+		BlockRows: DefaultBlockRows,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Build per-column sorted dictionaries and re-encode every row as
+	// dictionary indexes.
+	sorted := r.Sorted(schema...)
+	dicts := make([][]int64, len(schema))
+	lookup := make([]map[int64]uint64, len(schema))
+	for c := range schema {
+		set := map[int64]struct{}{}
+		sorted.Each(func(t relation.Tuple) { set[t[c]] = struct{}{} })
+		vals := make([]int64, 0, len(set))
+		for v := range set {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		dicts[c] = vals
+		lookup[c] = make(map[int64]uint64, len(vals))
+		for i, v := range vals {
+			lookup[c][v] = uint64(i)
+		}
+	}
+
+	h := sha256.New()
+	out := bufio.NewWriter(io.MultiWriter(w, h))
+	var lenBuf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(lenBuf[:], v)
+		out.Write(lenBuf[:n])
+	}
+	out.WriteString(relMagic)
+	writeUvarint(uint64(len(head)))
+	out.Write(head)
+	for _, dict := range dicts {
+		writeUvarint(uint64(len(dict)))
+		prev := int64(0)
+		for i, v := range dict {
+			if i == 0 {
+				n := binary.PutVarint(lenBuf[:], v)
+				out.Write(lenBuf[:n])
+			} else {
+				writeUvarint(uint64(v - prev))
+			}
+			prev = v
+		}
+	}
+
+	rows := sorted.Tuples()
+	for start := 0; start < len(rows); start += DefaultBlockRows {
+		end := start + DefaultBlockRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		writeUvarint(uint64(end - start))
+		for c := range schema {
+			for _, t := range rows[start:end] {
+				writeUvarint(lookup[c][t[c]])
+			}
+		}
+	}
+
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	sum := h.Sum(nil)
+	if _, err := w.Write(sum); err != nil {
+		return err
+	}
+	return nil
+}
+
+// hashReader hashes exactly the bytes handed out, so a buffered reader
+// below it can read ahead without polluting the checksum.
+type hashReader struct {
+	br *bufio.Reader
+	h  hash.Hash
+}
+
+func (hr *hashReader) ReadByte() (byte, error) {
+	b, err := hr.br.ReadByte()
+	if err == nil {
+		hr.h.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (hr *hashReader) Read(p []byte) (int, error) {
+	n, err := hr.br.Read(p)
+	if n > 0 {
+		hr.h.Write(p[:n])
+	}
+	return n, err
+}
+
+// RelScan streams one columnar relation block by block. The header and
+// per-column dictionaries are decoded eagerly (they are small — one
+// entry per distinct value); row blocks decode on demand, so a scan
+// holds O(block) rows in memory no matter how large the relation is.
+// The checksum is verified when the last block has been read.
+type RelScan struct {
+	name    string
+	schema  []string
+	rows    int64
+	blockSz int
+
+	hr      *hashReader
+	closer  io.Closer
+	dicts   [][]int64
+	read    int64
+	batch   []relation.Tuple
+	flat    []int64
+	idxBuf  []uint64
+	done    bool
+	scanErr error
+}
+
+// NewRelScan starts a columnar scan over r (which is read to the end;
+// close it after the scan finishes).
+func NewRelScan(r io.Reader) (*RelScan, error) {
+	hr := &hashReader{br: bufio.NewReader(r), h: sha256.New()}
+	var magic [len(relMagic)]byte
+	if _, err := io.ReadFull(hr, magic[:]); err != nil {
+		return nil, fmt.Errorf("store: columnar magic: %w", err)
+	}
+	if string(magic[:]) != relMagic {
+		return nil, fmt.Errorf("store: bad columnar magic %q", magic[:])
+	}
+	headLen, err := binary.ReadUvarint(hr)
+	if err != nil || headLen > 1<<20 {
+		return nil, fmt.Errorf("store: unreadable columnar header length")
+	}
+	headBuf := make([]byte, headLen)
+	if _, err := io.ReadFull(hr, headBuf); err != nil {
+		return nil, fmt.Errorf("store: columnar header: %w", err)
+	}
+	var h colHeader
+	if err := json.Unmarshal(headBuf, &h); err != nil {
+		return nil, fmt.Errorf("store: columnar header: %w", err)
+	}
+	if h.Version != RelFormatVersion {
+		return nil, fmt.Errorf("store: unsupported columnar format version %d (decoder speaks %d)",
+			h.Version, RelFormatVersion)
+	}
+	if h.Rows < 0 || h.Rows > maxRelRows {
+		return nil, fmt.Errorf("store: unreasonable row count %d", h.Rows)
+	}
+	if h.BlockRows < 1 || h.BlockRows > 1<<20 {
+		return nil, fmt.Errorf("store: unreasonable block size %d", h.BlockRows)
+	}
+	if len(h.Schema) == 0 || len(h.Schema) > 1<<10 {
+		return nil, fmt.Errorf("store: unreasonable schema width %d", len(h.Schema))
+	}
+	seen := map[string]struct{}{}
+	for _, a := range h.Schema {
+		if a == "" {
+			return nil, fmt.Errorf("store: empty attribute name in columnar header")
+		}
+		if _, dup := seen[a]; dup {
+			return nil, fmt.Errorf("store: duplicate attribute %q in columnar header", a)
+		}
+		seen[a] = struct{}{}
+	}
+
+	s := &RelScan{
+		name:    h.Name,
+		schema:  h.Schema,
+		rows:    h.Rows,
+		blockSz: h.BlockRows,
+		hr:      hr,
+		dicts:   make([][]int64, len(h.Schema)),
+	}
+	if c, ok := r.(io.Closer); ok {
+		s.closer = c
+	}
+	for c := range s.dicts {
+		count, err := binary.ReadUvarint(hr)
+		if err != nil || count > maxRelRows {
+			return nil, fmt.Errorf("store: unreadable dictionary for column %q", h.Schema[c])
+		}
+		dict := make([]int64, count)
+		prev := int64(0)
+		for i := range dict {
+			if i == 0 {
+				v, err := binary.ReadVarint(hr)
+				if err != nil {
+					return nil, fmt.Errorf("store: dictionary for column %q: %w", h.Schema[c], err)
+				}
+				dict[i] = v
+			} else {
+				d, err := binary.ReadUvarint(hr)
+				if err != nil {
+					return nil, fmt.Errorf("store: dictionary for column %q: %w", h.Schema[c], err)
+				}
+				dict[i] = prev + int64(d)
+				if dict[i] <= prev {
+					return nil, fmt.Errorf("store: dictionary for column %q not strictly sorted", h.Schema[c])
+				}
+			}
+			prev = dict[i]
+		}
+		s.dicts[c] = dict
+	}
+	return s, nil
+}
+
+// OpenColumnar starts a scan over a columnar relation file. The scan
+// owns the file handle; it closes on the final NextBatch or on Close.
+func OpenColumnar(path string) (*RelScan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s, err := NewRelScan(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name returns the relation's name as recorded in the file.
+func (s *RelScan) Name() string { return s.name }
+
+// Schema returns the relation's attribute names in order.
+func (s *RelScan) Schema() []string { return append([]string(nil), s.schema...) }
+
+// Arity returns the number of attributes.
+func (s *RelScan) Arity() int { return len(s.schema) }
+
+// Rows returns the total row count recorded in the header.
+func (s *RelScan) Rows() int64 { return s.rows }
+
+// Close releases the underlying file early; scans read to completion
+// close themselves.
+func (s *RelScan) Close() error {
+	s.done = true
+	if s.closer != nil {
+		c := s.closer
+		s.closer = nil
+		return c.Close()
+	}
+	return nil
+}
+
+// NextBatch decodes and returns the next row block. The returned tuples
+// are valid until the next NextBatch call (the backing buffers are
+// reused). io.EOF signals a clean end of scan — the checksum has been
+// verified; any other error means the file is corrupt or truncated.
+func (s *RelScan) NextBatch() ([]relation.Tuple, error) {
+	if s.scanErr != nil {
+		return nil, s.scanErr
+	}
+	if s.done || s.read >= s.rows {
+		return nil, s.finish()
+	}
+	n64, err := binary.ReadUvarint(s.hr)
+	if err != nil {
+		return nil, s.fail(fmt.Errorf("store: columnar block header: %w", err))
+	}
+	n := int(n64)
+	if n < 1 || n > s.blockSz || int64(n) > s.rows-s.read {
+		return nil, s.fail(fmt.Errorf("store: columnar block claims %d rows (block size %d, %d remaining)",
+			n, s.blockSz, s.rows-s.read))
+	}
+	width := len(s.schema)
+	if cap(s.flat) < n*width {
+		s.flat = make([]int64, n*width)
+		s.idxBuf = make([]uint64, n)
+		s.batch = make([]relation.Tuple, n)
+		for i := range s.batch {
+			s.batch[i] = s.flat[i*width : (i+1)*width]
+		}
+	}
+	batch := s.batch[:n]
+	for c := 0; c < width; c++ {
+		dict := s.dicts[c]
+		for i := 0; i < n; i++ {
+			idx, err := binary.ReadUvarint(s.hr)
+			if err != nil {
+				return nil, s.fail(fmt.Errorf("store: columnar block column %q: %w", s.schema[c], err))
+			}
+			if idx >= uint64(len(dict)) {
+				return nil, s.fail(fmt.Errorf("store: columnar index %d out of range for column %q (dictionary %d)",
+					idx, s.schema[c], len(dict)))
+			}
+			batch[i][c] = dict[idx]
+		}
+	}
+	s.read += int64(n)
+	return batch, nil
+}
+
+// finish verifies the trailing checksum and returns io.EOF (or the
+// corruption error).
+func (s *RelScan) finish() error {
+	if s.scanErr != nil {
+		return s.scanErr
+	}
+	want := s.hr.h.Sum(nil)
+	var sum [sha256.Size]byte
+	// Read the checksum from the buffered reader directly: it is not
+	// part of the hashed stream.
+	if _, err := io.ReadFull(s.hr.br, sum[:]); err != nil {
+		return s.fail(fmt.Errorf("store: columnar checksum: %w", err))
+	}
+	if !bytes.Equal(sum[:], want) {
+		return s.fail(fmt.Errorf("store: columnar checksum mismatch"))
+	}
+	if _, err := s.hr.br.ReadByte(); err != io.EOF {
+		return s.fail(fmt.Errorf("store: trailing bytes after columnar checksum"))
+	}
+	s.scanErr = io.EOF
+	s.Close()
+	return io.EOF
+}
+
+// fail records a terminal scan error and closes the file.
+func (s *RelScan) fail(err error) error {
+	s.scanErr = err
+	s.Close()
+	return err
+}
+
+// Each drives the scan to completion, calling fn for every tuple. The
+// tuple is only valid during the callback (buffers are reused). A
+// non-nil error from fn stops the scan and is returned.
+func (s *RelScan) Each(fn func(relation.Tuple) error) error {
+	for {
+		batch, err := s.NextBatch()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for _, t := range batch {
+			if err := fn(t); err != nil {
+				s.Close()
+				return err
+			}
+		}
+	}
+}
+
+// Materialize reads the whole scan into an in-memory Relation.
+func (s *RelScan) Materialize() (*relation.Relation, error) {
+	r := relation.New(s.schema...)
+	err := s.Each(func(t relation.Tuple) error {
+		r.Insert(t...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// relNamePat restricts relation names to filesystem-safe identifiers:
+// a columnar database names its files after its relations.
+var relNamePat = regexp.MustCompile(`^[A-Za-z0-9_.-]+$`)
+
+// ExportDB writes every relation of db as a columnar file
+// (<name>.col) under dir, each written atomically via temp file +
+// rename. Existing columnar files for other relation names are left
+// alone, so exports can be incremental.
+func ExportDB(dir string, db query.Database) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	names := make([]string, 0, len(db))
+	for name := range db {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !relNamePat.MatchString(name) {
+			return fmt.Errorf("%w: store: relation name %q is not filesystem-safe", guard.ErrInvalidInput, name)
+		}
+		tmp, err := os.CreateTemp(dir, name+"-*"+tmpExt)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		tmpName := tmp.Name()
+		werr := WriteColumnar(tmp, name, db[name])
+		if werr == nil {
+			werr = tmp.Sync()
+		}
+		if cerr := tmp.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmpName, filepath.Join(dir, name+relExt))
+		}
+		if werr != nil {
+			os.Remove(tmpName)
+			return fmt.Errorf("store: exporting %q: %w", name, werr)
+		}
+	}
+	return nil
+}
+
+// DB is an opened columnar database directory: a set of relations that
+// can be scanned block by block or materialized on demand.
+type DB struct {
+	dir   string
+	names []string
+}
+
+// OpenDB opens a columnar database directory, indexing the *.col files
+// present. Leftover temp files from interrupted exports are removed.
+func OpenDB(dir string) (*DB, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	db := &DB{dir: dir}
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case strings.HasSuffix(name, tmpExt):
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, relExt):
+			db.names = append(db.names, strings.TrimSuffix(name, relExt))
+		}
+	}
+	sort.Strings(db.names)
+	return db, nil
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Names returns the relation names present, sorted.
+func (db *DB) Names() []string { return append([]string(nil), db.names...) }
+
+// Has reports whether a relation is present.
+func (db *DB) Has(name string) bool {
+	for _, n := range db.names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Scan starts a streaming scan of one relation.
+func (db *DB) Scan(name string) (*RelScan, error) {
+	if !db.Has(name) {
+		return nil, fmt.Errorf("%w: store: no columnar relation %q in %s", guard.ErrInvalidInput, name, db.dir)
+	}
+	return OpenColumnar(filepath.Join(db.dir, name+relExt))
+}
+
+// Load materializes the whole database into memory, for the RAM tier
+// and any consumer that needs random access.
+func (db *DB) Load() (query.Database, error) {
+	out := make(query.Database, len(db.names))
+	for _, name := range db.names {
+		s, err := db.Scan(name)
+		if err != nil {
+			return nil, err
+		}
+		r, err := s.Materialize()
+		if err != nil {
+			return nil, fmt.Errorf("store: loading %q: %w", name, err)
+		}
+		out[name] = r
+	}
+	return out, nil
+}

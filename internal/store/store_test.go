@@ -1,0 +1,176 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStorePutGetReopen: artifacts persist across Open calls, writes
+// are deduplicated, and the manifest is a rebuildable cache — deleting
+// it loses nothing.
+func TestStorePutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+
+	var fps []string
+	for _, name := range []string{"triangle", "path3"} {
+		canon, compiled, _ := compileCatalog(t, name)
+		a := FromCompiled(canon, compiled)
+		if err := s.PutPlan(a); err != nil {
+			t.Fatalf("PutPlan(%s): %v", name, err)
+		}
+		if !s.HasPlan(a.FP) {
+			t.Fatalf("HasPlan(%s) false after PutPlan", name)
+		}
+		// A second put of the same fingerprint is a no-op.
+		if err := s.PutPlan(a); err != nil {
+			t.Fatalf("repeat PutPlan(%s): %v", name, err)
+		}
+		back, err := s.GetPlan(a.FP)
+		if err != nil {
+			t.Fatalf("GetPlan(%s): %v", name, err)
+		}
+		if back.QueryText != a.QueryText {
+			t.Fatalf("GetPlan(%s) returned %q, want %q", name, back.QueryText, a.QueryText)
+		}
+		fps = append(fps, a.FP.String())
+	}
+
+	st := s.Stats()
+	if st.Plans != 2 || st.Writes != 2 || st.Hits != 2 || st.Corrupt != 0 {
+		t.Fatalf("stats after put/get: %+v", st)
+	}
+	if _, err := s.GetPlan([32]byte{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetPlan(unknown) = %v, want ErrNotFound", err)
+	}
+
+	// Reopen: the index survives via the manifest.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got := s2.Plans(); len(got) != 2 || got[0].String() >= got[1].String() {
+		t.Fatalf("reopened Plans() = %v", got)
+	}
+
+	// Delete the manifest and drop a stray temp file: Open adopts the
+	// artifacts from the directory and sweeps the leftover.
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "leftover-123"+tmpExt)
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open without manifest: %v", err)
+	}
+	if s3.Len() != 2 {
+		t.Fatalf("rebuilt store indexes %d plans, want 2", s3.Len())
+	}
+	for _, hex := range fps {
+		fp, err := parseFingerprint(hex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s3.HasPlan(fp) {
+			t.Fatalf("rebuilt store lost %s", hex[:8])
+		}
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("temp leftover survived Open: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatalf("manifest not rewritten on adopt: %v", err)
+	}
+}
+
+// TestStoreQuarantinesCorrupt: an artifact whose bytes rot fails its
+// read, is renamed aside with a .corrupt suffix, leaves the index, and
+// later lookups miss cleanly.
+func TestStoreQuarantinesCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	canon, compiled, _ := compileCatalog(t, "triangle")
+	a := FromCompiled(canon, compiled)
+	if err := s.PutPlan(a); err != nil {
+		t.Fatalf("PutPlan: %v", err)
+	}
+
+	path := s.planPath(a.FP)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.GetPlan(a.FP); err == nil {
+		t.Fatal("corrupt artifact decoded")
+	}
+	if st := s.Stats(); st.Corrupt != 1 || st.Plans != 0 {
+		t.Fatalf("stats after corruption: %+v", st)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt artifact not quarantined: %v", err)
+	}
+	if _, err := s.GetPlan(a.FP); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second GetPlan = %v, want ErrNotFound", err)
+	}
+}
+
+// TestStoreVerify: Verify passes a healthy store and names the corrupt
+// artifact in a damaged one.
+func TestStoreVerify(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	canon, compiled, _ := compileCatalog(t, "triangle")
+	canon2, compiled2, _ := compileCatalog(t, "cycle4")
+	if err := s.PutPlan(FromCompiled(canon, compiled)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutPlan(FromCompiled(canon2, compiled2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range s.Verify() {
+		if res.Err != nil {
+			t.Fatalf("Verify(%s): %v", res.FP.Short(), res.Err)
+		}
+	}
+
+	path := s.planPath(canon.FP)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, res := range s.Verify() {
+		if res.Err != nil {
+			if res.FP != canon.FP {
+				t.Fatalf("Verify blamed %s, corrupted %s", res.FP.Short(), canon.FP.Short())
+			}
+			bad++
+		}
+	}
+	if bad != 1 {
+		t.Fatalf("Verify found %d corrupt artifacts, want 1", bad)
+	}
+}

@@ -1,0 +1,99 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"circuitql/internal/guard"
+)
+
+// TestEvalStreamMatchesBatch: streaming a long input sequence through
+// EvalStream window by window produces exactly the outputs of one big
+// EvalBatch, for stream lengths that hit every window edge case (empty,
+// one short window, exact multiple, remainder).
+func TestEvalStreamMatchesBatch(t *testing.T) {
+	prog, err := Compile(context.Background(), allOpsCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, total := range []int{0, 1, 7, 64, 64 * 3, 64*3 + 5} {
+		inputs := make([][]Word, total)
+		for r := range inputs {
+			in := make([]Word, prog.NumInputs())
+			for i := range in {
+				in[i] = rng.Int63n(200) - 100
+			}
+			inputs[r] = in
+		}
+		want, err := prog.EvalBatch(context.Background(), inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var got [][]Word
+		i := 0
+		// The producer reuses one buffer, as a disk scan would.
+		buf := make([]Word, prog.NumInputs())
+		err = prog.EvalStream(context.Background(), 64, func() ([]Word, bool) {
+			if i >= len(inputs) {
+				return nil, false
+			}
+			copy(buf, inputs[i])
+			i++
+			return buf, true
+		}, func(outs [][]Word) error {
+			got = append(got, outs...)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("total=%d: EvalStream: %v", total, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("total=%d: streamed %d outputs, want %d", total, len(got), len(want))
+		}
+		for r := range want {
+			for k := range want[r] {
+				if got[r][k] != want[r][k] {
+					t.Fatalf("total=%d: output[%d][%d] = %d, want %d", total, r, k, got[r][k], want[r][k])
+				}
+			}
+		}
+	}
+}
+
+// TestEvalStreamErrors: a wrong-width input and an emit error both stop
+// the stream with the right error.
+func TestEvalStreamErrors(t *testing.T) {
+	prog, err := Compile(context.Background(), allOpsCircuit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]Word, prog.NumInputs()+1)
+	sent := false
+	err = prog.EvalStream(context.Background(), 8, func() ([]Word, bool) {
+		if sent {
+			return nil, false
+		}
+		sent = true
+		return bad, true
+	}, func([][]Word) error { return nil })
+	if !errors.Is(err, guard.ErrInvalidInput) {
+		t.Fatalf("wrong-width input: %v, want ErrInvalidInput", err)
+	}
+
+	sentinel := errors.New("stop")
+	n := 0
+	err = prog.EvalStream(context.Background(), 4, func() ([]Word, bool) {
+		n++
+		return make([]Word, prog.NumInputs()), n <= 20
+	}, func([][]Word) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("emit error: %v, want sentinel", err)
+	}
+	if n > 5 {
+		t.Fatalf("stream kept pulling after emit failed (%d pulls)", n)
+	}
+}

@@ -54,6 +54,7 @@ func main() {
 		exportDir = flag.String("export", "", "write a generated workload database for the query as columnar files under this directory (circuitd -db serves it)")
 		exportN   = flag.Int("export-n", 16, "tuples per relation for -export")
 		exportSd  = flag.Int64("export-seed", 1, "generator seed for -export")
+		semStats  = flag.Bool("sem-stats", false, "compile the canonical pair through semantic CSE and print merge statistics plus the plan's semantic digest")
 	)
 	flag.Parse()
 
@@ -157,6 +158,34 @@ func main() {
 		}
 		fmt.Printf("widths:           fhtw=%s  da-fhtw=%s bits  da-subw=%s bits\n",
 			w.Fhtw.RatString(), w.DAFhtw.RatString(), w.DASubw.RatString())
+	}
+
+	if *semStats {
+		// Compile the canonical pair the way the engine does with
+		// SemanticCSE on, then report what the signature-guided merger
+		// did and which semantic digest the plan carries — two queries
+		// printing the same digest serve from one engine cache entry.
+		canon, err := query.Canonicalize(q, dcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		compiled, err := core.CompileQueryOptsCtx(context.Background(), canon.Query, canon.DCs,
+			core.CompileOptions{SemanticCSE: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep := compiled.Opt
+		fmt.Printf("semantic CSE:     %d merges (%d prover-confirmed), K=%d signatures, residual false-merge probability %g\n",
+			rep.SemMerges, rep.SemProven, rep.SemSignatureK, rep.SemFalseMergeProb)
+		dig, err := core.SemanticDigest(compiled)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dig.Valid() {
+			fmt.Printf("plan identity:    fp=%s sem=%s\n", canon.FP.Short(), dig.Hex[:16])
+		} else {
+			fmt.Printf("plan identity:    fp=%s sem=none (ambiguous output columns)\n", canon.FP.Short())
+		}
 	}
 
 	if *storeDir != "" {

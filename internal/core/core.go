@@ -274,6 +274,12 @@ type CompileOptions struct {
 	// constructions verbatim — the escape hatch for debugging and for
 	// measuring the constructions' raw constant factors.
 	NoOpt bool
+	// SemanticCSE additionally runs the probabilistic-signature semantic
+	// CSE pass (opt.BoolSem) after the structural word-level passes,
+	// merging provably equivalent gates that structural hashing misses.
+	// Ignored when NoOpt is set. The default configuration adopts only
+	// prover-confirmed merges, so the result is exact.
+	SemanticCSE bool
 }
 
 // CompileQuery runs the full pipeline for a full CQ: PANDA-C to a
@@ -329,7 +335,16 @@ func CompileQueryOptsCtx(ctx context.Context, q *query.Query, dcs query.DCSet, o
 		_, osp := obs.StartSpan(ctx, obs.StageOptimize)
 		optStart := time.Now()
 		report.WordGatesBefore, report.WordDepthBefore = obl.C.Size(), obl.C.Depth()
-		optimized := opt.Bool(obl.C)
+		var optimized *boolcircuit.Circuit
+		if opts.SemanticCSE {
+			var sem opt.SemStats
+			optimized, sem = opt.BoolSem(obl.C, opt.SemConfig{})
+			report.SemMerges, report.SemProven = sem.Merges, sem.Proven
+			report.SemFalseMergeProb, report.SemSignatureK = sem.FalseMergeProb, sem.K
+			osp.AddInt(obs.CounterSemMerges, int64(sem.Merges))
+		} else {
+			optimized = opt.Bool(obl.C)
+		}
 		if optimized.NumInputs() != obl.C.NumInputs() || len(optimized.Outputs()) != len(obl.C.Outputs()) {
 			osp.End()
 			return nil, fmt.Errorf("%w: core: optimizer changed the circuit interface (%d/%d inputs, %d/%d outputs)",

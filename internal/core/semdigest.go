@@ -1,0 +1,281 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"circuitql/internal/query"
+	"circuitql/internal/relation"
+)
+
+// SemDigestVectors is how many seeded random databases a semantic
+// digest evaluates, on top of the always-included empty database.
+const SemDigestVectors = 3
+
+// semDigestSeed salts every value the digest's test databases contain,
+// so the vectors are fixed across processes and releases. Changing it
+// invalidates persisted aliases (they simply stop verifying), never
+// answers.
+const semDigestSeed = 0x5161d16e575eed01
+
+// SemDigest is a behavioral fingerprint of a compiled plan: a hash of
+// the plan's answers on a fixed family of seeded test databases, plus
+// its input contract and a name-independent ordering of its output
+// columns. Two plans with equal digests computed the same answers, in
+// the same column roles, on every vector — which is how the serving
+// engine detects that differently-shaped queries (e.g. a query and its
+// duplicated-atom variant, which canonicalize to different
+// fingerprints) denote one plan and can share one cache entry.
+//
+// The zero value (Hex == "") means "no digest": the plan's output
+// columns could not be ordered unambiguously, or its inputs were not
+// uniform enough to generate comparable vectors. A missing digest only
+// costs sharing, never correctness — equality of digests is the only
+// operation, and it is conservative by construction.
+type SemDigest struct {
+	// Hex is the hex-encoded digest, empty when no digest exists.
+	Hex string
+	// Cols holds the plan's canonical output column names in digest
+	// order (sorted by their name-independent occurrence keys). Two
+	// equal-digest plans correspond column-for-column in this order,
+	// which is what alias serving uses to remap output schemas.
+	Cols []string
+}
+
+// Valid reports whether the digest exists.
+func (d SemDigest) Valid() bool { return d.Hex != "" }
+
+// semInputContract is the digest's view of one base relation: its
+// arity and the slot capacity the plan packs it into.
+type semInputContract struct {
+	arity, capacity int
+}
+
+// SemanticDigest computes the behavioral digest of a compiled plan.
+// cq must be an engine-style compile of a canonical pair (the digest
+// keys output columns by canonical structure); warm-loaded plans
+// (Rel == nil) work — only the oblivious circuit is evaluated.
+//
+// Construction: every free variable of the query is keyed by the set
+// of (relation name, position) slots it occupies across the atoms —
+// a key that survives variable renaming, atom reordering, and atom
+// duplication. If two free variables share a key the column order is
+// ambiguous and no digest exists. Otherwise the plan is evaluated on
+// the empty database and SemDigestVectors seeded random databases
+// (derived only from relation names and arities, so equivalent plans
+// see identical data), and the digest hashes the input contract, the
+// column keys, and every answer as a sorted row set over the
+// key-ordered columns.
+//
+// The test databases have at most two tuples per relation with all
+// values distinct within each column, so every nontrivial degree is 1
+// and they conform to any realistic degree-constraint set the plan
+// could have been compiled under.
+func SemanticDigest(cq *Compiled) (SemDigest, error) {
+	q := cq.Query
+
+	cols, keys, ok := semColumnOrder(q)
+	if !ok {
+		return SemDigest{}, nil
+	}
+	contract, ok := semContract(q, cq.Obliv)
+	if !ok {
+		return SemDigest{}, nil
+	}
+
+	h := sha256.New()
+	fmt.Fprintf(h, "cqsem1;k%d;", SemDigestVectors)
+	names := make([]string, 0, len(contract))
+	for name := range contract {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := contract[name]
+		fmt.Fprintf(h, "in:%s/%d@%d;", name, c.arity, c.capacity)
+	}
+	for _, k := range keys {
+		fmt.Fprintf(h, "col:%s;", k)
+	}
+	for _, d := range semDCLines(q, cq.DC) {
+		fmt.Fprintf(h, "dc:%s;", d)
+	}
+
+	for vec := 0; vec <= SemDigestVectors; vec++ {
+		db := make(query.Database, len(contract))
+		for _, name := range names {
+			db[name] = semTestRelation(name, contract[name], vec)
+		}
+		out, err := cq.EvaluateOblivious(db)
+		if err != nil {
+			return SemDigest{}, fmt.Errorf("core: semantic digest vector %d: %w", vec, err)
+		}
+		rows := make([]string, 0, out.Len())
+		proj := out.Project(cols...)
+		proj.Each(func(t relation.Tuple) {
+			var sb strings.Builder
+			for _, v := range t {
+				fmt.Fprintf(&sb, "%d,", v)
+			}
+			rows = append(rows, sb.String())
+		})
+		sort.Strings(rows)
+		fmt.Fprintf(h, "vec%d:%d{", vec, len(rows))
+		for _, r := range rows {
+			h.Write([]byte(r))
+			h.Write([]byte{'|'})
+		}
+		h.Write([]byte{'}'})
+	}
+
+	sum := h.Sum(nil)
+	return SemDigest{Hex: hex.EncodeToString(sum), Cols: cols}, nil
+}
+
+// semColumnOrder keys every free variable of q by the sorted, deduped
+// set of (relation name, position) slots it occupies and returns the
+// column names sorted by key. ok is false when two free variables
+// share a key (the order would be ambiguous) or the query has no free
+// variables to order.
+func semColumnOrder(q *query.Query) (cols, keys []string, ok bool) {
+	free := q.Free.Vars()
+	if len(free) == 0 {
+		return nil, nil, false
+	}
+	type kc struct{ key, col string }
+	pairs := make([]kc, 0, len(free))
+	for _, v := range free {
+		occ := map[string]struct{}{}
+		for _, a := range q.Atoms {
+			for pos, w := range a.Vars {
+				if w == v {
+					occ[fmt.Sprintf("%s/%d", a.Name, pos)] = struct{}{}
+				}
+			}
+		}
+		parts := make([]string, 0, len(occ))
+		for o := range occ {
+			parts = append(parts, o)
+		}
+		sort.Strings(parts)
+		pairs = append(pairs, kc{key: strings.Join(parts, "+"), col: q.VarNames[v]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].key == pairs[i-1].key {
+			return nil, nil, false
+		}
+	}
+	cols = make([]string, len(pairs))
+	keys = make([]string, len(pairs))
+	for i, p := range pairs {
+		cols[i], keys[i] = p.col, p.key
+	}
+	return cols, keys, true
+}
+
+// semDCLines renders the compiled plan's degree-constraint set in a
+// name-independent form — relation name, the X attribute positions
+// within the atom, and the bound — sorted and deduplicated. Binding
+// the DCs into the digest keeps aliasing honest: a plan is only
+// correct for conforming databases, so two plans may share a cache
+// entry only when they promise the same conformance contract.
+// Duplicated atoms carry identical constraints, so they collapse here
+// the same way they do in the column keys.
+func semDCLines(q *query.Query, dcs query.DCSet) []string {
+	set := map[string]struct{}{}
+	for _, dc := range dcs {
+		e := q.EdgeFor(dc.Y)
+		if e < 0 {
+			continue
+		}
+		a := q.Atoms[e]
+		var sb strings.Builder
+		sb.WriteString(a.Name)
+		sb.WriteByte('|')
+		for pos, v := range a.Vars {
+			if dc.X.Has(v) {
+				fmt.Fprintf(&sb, "%d,", pos)
+			}
+		}
+		fmt.Fprintf(&sb, "<=%g", dc.N)
+		set[sb.String()] = struct{}{}
+	}
+	lines := make([]string, 0, len(set))
+	for l := range set {
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// semContract collects, per base relation, the arity and the smallest
+// input-slot capacity any of its atom occurrences packs into. ok is
+// false when an input spec cannot be matched back to an atom.
+func semContract(q *query.Query, obl *ObliviousCircuit) (map[string]semInputContract, bool) {
+	arity := make(map[string]int, len(q.Atoms))
+	for _, a := range q.Atoms {
+		arity[a.Name] = len(a.Vars)
+	}
+	out := make(map[string]semInputContract, len(arity))
+	for _, spec := range obl.Inputs {
+		// Input specs are keyed "<relation>#<atom index>".
+		i := strings.LastIndexByte(spec.Name, '#')
+		if i < 0 {
+			return nil, false
+		}
+		base := spec.Name[:i]
+		ar, known := arity[base]
+		if !known {
+			return nil, false
+		}
+		if c, seen := out[base]; !seen || spec.Capacity < c.capacity {
+			out[base] = semInputContract{arity: ar, capacity: spec.Capacity}
+		}
+	}
+	if len(out) != len(arity) {
+		return nil, false
+	}
+	return out, true
+}
+
+// semTestRelation builds the digest's test relation for one base
+// relation: vector 0 is empty; later vectors hold min(2, capacity)
+// tuples whose values are a pure function of (relation name, column,
+// row, vector), distinct within each column so every degree on a
+// nonempty attribute set is 1.
+func semTestRelation(name string, c semInputContract, vec int) *relation.Relation {
+	attrs := make([]string, c.arity)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("c%d", i)
+	}
+	r := relation.New(attrs...)
+	if vec == 0 {
+		return r
+	}
+	rows := 2
+	if c.capacity < rows {
+		rows = c.capacity
+	}
+	state := uint64(semDigestSeed) ^ uint64(vec)*0x9e3779b97f4a7c15
+	for _, ch := range name {
+		state = (state ^ uint64(ch)) * 0x100000001b3
+	}
+	tuple := make([]int64, c.arity)
+	prev := make([]int64, c.arity)
+	for row := 0; row < rows; row++ {
+		for col := range tuple {
+			state = state*6364136223846793005 + 1442695040888963407
+			v := int64(state>>33)%1_000_003 + 1
+			if row > 0 && v == prev[col] {
+				v++
+			}
+			tuple[col], prev[col] = v, v
+		}
+		r.Insert(tuple...)
+	}
+	return r
+}

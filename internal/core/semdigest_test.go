@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"circuitql/internal/core"
+	"circuitql/internal/query"
+)
+
+func semCompile(t *testing.T, src string, n float64) (*core.Compiled, *query.Canonical) {
+	t.Helper()
+	q := query.MustParse(src)
+	canon, err := query.Canonicalize(q, query.Cardinalities(q, n))
+	if err != nil {
+		t.Fatalf("canonicalize %q: %v", src, err)
+	}
+	cq, err := core.CompileQueryOptsCtx(context.Background(), canon.Query, canon.DCs,
+		core.CompileOptions{SemanticCSE: true})
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return cq, canon
+}
+
+// TestSemanticDigestEquivalence: the digest must be equal across
+// equivalence-preserving rewrites — including atom duplication, which
+// canonicalization does NOT collapse (duplicated atoms fingerprint
+// differently) — and must differ between inequivalent queries.
+func TestSemanticDigestEquivalence(t *testing.T) {
+	base, baseCanon := semCompile(t, "Q(A,B,C) :- R(A,B), S(B,C)", 3)
+	baseDig, err := core.SemanticDigest(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !baseDig.Valid() {
+		t.Fatal("base plan has no digest")
+	}
+	if len(baseDig.Cols) != 3 {
+		t.Fatalf("digest orders %d columns, want 3", len(baseDig.Cols))
+	}
+
+	equivalent := []struct{ name, src string }{
+		{"atom_reorder", "Q(A,B,C) :- S(B,C), R(A,B)"},
+		{"var_rename", "Q(X,Y,Z) :- R(X,Y), S(Y,Z)"},
+		{"dup_atom", "Q(A,B,C) :- R(A,B), R(A,B), S(B,C)"},
+	}
+	for _, tc := range equivalent {
+		t.Run(tc.name, func(t *testing.T) {
+			cq, canon := semCompile(t, tc.src, 3)
+			dig, err := core.SemanticDigest(cq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dig.Hex != baseDig.Hex {
+				t.Errorf("digest diverges from base: %s vs %s", dig.Hex[:16], baseDig.Hex[:16])
+			}
+			if tc.name == "dup_atom" && canon.FP == baseCanon.FP {
+				t.Error("duplicated-atom variant shares the canonical fingerprint; the digest test is vacuous")
+			}
+			if tc.name != "dup_atom" && canon.FP != baseCanon.FP {
+				t.Error("alpha-variant does not share the canonical fingerprint")
+			}
+		})
+	}
+
+	distinct := []struct{ name, src string }{
+		{"swapped_join", "Q(A,B,C) :- S(A,B), R(B,C)"},
+		{"triangle", "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"},
+	}
+	for _, tc := range distinct {
+		t.Run(tc.name, func(t *testing.T) {
+			cq, _ := semCompile(t, tc.src, 3)
+			dig, err := core.SemanticDigest(cq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dig.Valid() && dig.Hex == baseDig.Hex {
+				t.Errorf("inequivalent query collides with base digest %s", baseDig.Hex[:16])
+			}
+		})
+	}
+}
+
+// TestSemanticDigestDeterminism: two compiles of the same pair must
+// digest identically (the engine compares digests across processes).
+func TestSemanticDigestDeterminism(t *testing.T) {
+	a, _ := semCompile(t, "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D)", 3)
+	b, _ := semCompile(t, "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D)", 3)
+	da, err := core.SemanticDigest(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.SemanticDigest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !da.Valid() || da.Hex != db.Hex {
+		t.Fatalf("digests differ across identical compiles: %q vs %q", da.Hex, db.Hex)
+	}
+	for i := range da.Cols {
+		if da.Cols[i] != db.Cols[i] {
+			t.Fatalf("column order differs: %v vs %v", da.Cols, db.Cols)
+		}
+	}
+}
+
+// TestSemanticDigestAmbiguousColumns: a query whose free variables are
+// structurally interchangeable has no unambiguous column order, so no
+// digest — aliasing must be conservative, not guessy.
+func TestSemanticDigestAmbiguousColumns(t *testing.T) {
+	cq, _ := semCompile(t, "Q(A,B) :- R(A,B), R(B,A)", 3)
+	dig, err := core.SemanticDigest(cq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dig.Valid() {
+		t.Fatalf("symmetric self-join produced digest %s; want none", dig.Hex[:16])
+	}
+}

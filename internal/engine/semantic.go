@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"circuitql/internal/core"
+	"circuitql/internal/query"
+	"circuitql/internal/store"
+)
+
+// Semantic plan aliasing (Config.SemanticCSE) lifts the optimizer's
+// semantic CSE from gates to whole plans. Canonicalization already
+// merges α-equivalent requests — same fingerprint, same cache entry —
+// but it is purely structural: a query and its duplicated-atom variant
+// canonicalize to different fingerprints even though they denote the
+// same function. The engine closes that gap behaviorally: every
+// compiled plan gets a semantic digest (core.SemanticDigest — answers
+// on seeded test databases plus the input/DC contract), and when a
+// fresh compile's digest matches an earlier plan's, the new shape is
+// recorded as an alias of the old. From then on requests for either
+// shape route to one cache entry, one vm program, one batcher window,
+// and one persisted artifact.
+//
+// Aliasing is conservative by construction: digests bind the DC
+// contract and the output-column correspondence, a plan without an
+// unambiguous digest is never aliased, and an alias only redirects
+// which canonical pair is compiled — the answer for an aliased request
+// is still computed by a circuit proven equal on the digest vectors
+// and renamed back through the request's own canonical map.
+type semRegistry struct {
+	mu sync.Mutex
+	// reps maps a digest to the fingerprint that owns its plan: the
+	// first shape to compile with that digest. Later shapes with the
+	// same digest alias to it.
+	reps map[string]semRep
+	// aliases maps a source fingerprint to its serving target. Read on
+	// every Submit, written once per discovered equivalence.
+	aliases map[query.Fingerprint]semAlias
+
+	established atomic.Int64 // aliases discovered (or re-verified on warm start)
+	hits        atomic.Int64 // submits redirected through an alias
+}
+
+// semRep is the canonical owner of one digest.
+type semRep struct {
+	fp    query.Fingerprint
+	canon *query.Canonical
+	// cols is the owner's output column names in digest order; an
+	// aliased shape's rename map is built positionally against it.
+	cols []string
+}
+
+// semAlias redirects one fingerprint's requests onto another's plan.
+type semAlias struct {
+	target query.Fingerprint
+	canon  *query.Canonical
+	// rename maps the target plan's canonical output columns to the
+	// source shape's canonical columns (identity entries omitted);
+	// applied before the usual canonical→request rename.
+	rename map[string]string
+}
+
+func newSemRegistry() *semRegistry {
+	return &semRegistry{
+		reps:    map[string]semRep{},
+		aliases: map[query.Fingerprint]semAlias{},
+	}
+}
+
+// resolve returns the alias for a source fingerprint, if one exists.
+func (r *semRegistry) resolve(fp query.Fingerprint) (semAlias, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	al, ok := r.aliases[fp]
+	return al, ok
+}
+
+// semObserve files a freshly obtained plan with the semantic registry
+// and reports whether the entry became an alias of an existing plan —
+// in which case the caller must not cache or persist it (the target's
+// entry serves both shapes). Runs outside the shard mutex; lock order
+// is registry → shard cache (via peekLive), never the reverse.
+func (e *shard) semObserve(canon *query.Canonical, ent *entry) bool {
+	r := e.sem
+	if r == nil || ent == nil || ent.compiled == nil {
+		return false
+	}
+	dig, err := core.SemanticDigest(ent.compiled)
+	if err != nil || !dig.Valid() {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep, ok := r.reps[dig.Hex]
+	if ok && rep.fp != canon.FP {
+		// Another shape owns this digest. Alias to it while its plan is
+		// still reachable (cached live, or persisted); otherwise adopt
+		// the digest — aliasing to a plan nobody can load would turn
+		// every hit into a recompile of a shape nobody asked for.
+		reachable := (e.peekLive != nil && e.peekLive(rep.fp) != nil) ||
+			(e.cfg.Store != nil && e.cfg.Store.HasPlan(rep.fp))
+		if reachable && len(rep.cols) == len(dig.Cols) {
+			rename := make(map[string]string, len(rep.cols))
+			for i, c := range rep.cols {
+				if c != dig.Cols[i] {
+					rename[c] = dig.Cols[i]
+				}
+			}
+			r.aliases[canon.FP] = semAlias{target: rep.fp, canon: rep.canon, rename: rename}
+			r.established.Add(1)
+			if st := e.cfg.Store; st != nil {
+				//nolint:errcheck // a failed write only loses re-discovery
+				st.PutAlias(canon.FP, store.Alias{
+					Target: rep.fp.String(), Digest: dig.Hex, Rename: rename,
+				})
+			}
+			return true
+		}
+	}
+	r.reps[dig.Hex] = semRep{fp: canon.FP, canon: canon, cols: dig.Cols}
+	return false
+}
+
+// peekLive returns the live cached entry (compiled, non-negative) for a
+// fingerprint on its owning shard, without bumping recency. Used by
+// alias establishment to decide whether a digest's owner is servable.
+func (e *Engine) peekLive(fp query.Fingerprint) *entry {
+	s := e.shardOf(fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent := s.cache.peek(fp)
+	if ent == nil || ent.compiled == nil {
+		return nil
+	}
+	return ent
+}
+
+// warmAliases re-verifies the persisted aliases after a warm start:
+// each alias whose target plan warm-loaded has its digest recomputed,
+// and on a match both the digest ownership and the alias are installed
+// in the registry — so a restarted engine serves aliased shapes
+// compile-free, exactly like their targets. A digest mismatch (the
+// digest construction changed, or the artifact belongs to an older
+// contract) drops the alias durably: stale redirects must not survive.
+// Aliases whose targets did not warm-load are left on disk untouched —
+// unverifiable now, re-discovered or re-verified later. Returns how
+// many aliases were installed.
+func (e *Engine) warmAliases() int {
+	st := e.cfg.Store
+	if st == nil || e.sem == nil {
+		return 0
+	}
+	installed := 0
+	for src, al := range st.Aliases() {
+		target, ok := parseSemFP(al.Target)
+		if !ok {
+			st.DropAlias(src) //nolint:errcheck // best-effort hygiene
+			continue
+		}
+		ent := e.peekLive(target)
+		if ent == nil {
+			continue
+		}
+		dig, err := core.SemanticDigest(ent.compiled)
+		if err != nil || !dig.Valid() || dig.Hex != al.Digest {
+			st.DropAlias(src) //nolint:errcheck // best-effort hygiene
+			continue
+		}
+		e.sem.mu.Lock()
+		e.sem.reps[dig.Hex] = semRep{fp: target, canon: ent.canon, cols: dig.Cols}
+		e.sem.aliases[src] = semAlias{target: target, canon: ent.canon, rename: al.Rename}
+		e.sem.mu.Unlock()
+		e.sem.established.Add(1)
+		installed++
+	}
+	return installed
+}
+
+// parseSemFP decodes a manifest fingerprint string.
+func parseSemFP(s string) (query.Fingerprint, bool) {
+	var fp query.Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(fp) {
+		return fp, false
+	}
+	copy(fp[:], b)
+	return fp, true
+}

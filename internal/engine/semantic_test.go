@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"circuitql/internal/query"
+	"circuitql/internal/relation"
+	"circuitql/internal/store"
+	"circuitql/internal/workload"
+)
+
+// TestEngineSemanticSharedEntry: with SemanticCSE on, two α-equivalent
+// query variants racing their first requests still compile exactly once
+// and share one cache entry — the semantic layer must not perturb the
+// canonical-fingerprint singleflight guarantee.
+func TestEngineSemanticSharedEntry(t *testing.T) {
+	e := New(Config{SemanticCSE: true})
+	defer e.Close()
+
+	q1 := query.MustParse("Q(A,B,C) :- R(A,B), S(B,C)")
+	q2 := query.MustParse("Q(X,Y,Z) :- S(Y,Z), R(X,Y)")
+	db := workload.ForQuery(q1, 5, 8)
+	reqs := []Request{
+		{Query: q1, DCs: mustDerive(t, q1, db), DB: db},
+		{Query: q2, DCs: mustDerive(t, q2, db), DB: db},
+	}
+	// Each variant's output carries its own column names, so each gets
+	// its own reference evaluation.
+	wants := make([]*relation.Relation, len(reqs))
+	for i, r := range reqs {
+		w, err := query.Evaluate(r.Query, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[i] = w
+	}
+
+	const rounds = 8
+	var wg sync.WaitGroup
+	results := make([]Result, rounds)
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.Serve(context.Background(), reqs[i%len(reqs)])
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+		if r.Fingerprint != results[0].Fingerprint {
+			t.Fatalf("request %d got fingerprint %s, want %s (α-variants must share one identity)",
+				i, r.Fingerprint.Short(), results[0].Fingerprint.Short())
+		}
+		if !r.Output.Equal(wants[i%len(reqs)]) {
+			t.Fatalf("request %d output differs from reference", i)
+		}
+	}
+	m := e.Metrics()
+	if m.Compiles != 1 {
+		t.Fatalf("α-equivalent variants compiled %d times, want exactly 1", m.Compiles)
+	}
+	if m.CachedPlans != 1 {
+		t.Fatalf("α-equivalent variants occupy %d cache entries, want 1", m.CachedPlans)
+	}
+}
+
+// TestEngineSemanticAliasLifecycle walks a semantic alias through its
+// whole life: a duplicated-atom variant (different canonical
+// fingerprint, same function) compiles once, is detected as equivalent,
+// and from then on — including across an engine restart against the
+// warm store — serves from the original's cache entry without its own
+// plan ever being cached or persisted.
+func TestEngineSemanticAliasLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{SemanticCSE: true, Store: st})
+
+	base := query.MustParse("Q(A,B,C) :- R(A,B), S(B,C)")
+	dup := query.MustParse("Q(A,B,C) :- R(A,B), R(A,B), S(B,C)")
+	db := workload.ForQuery(base, 5, 8)
+	baseReq := Request{Query: base, DCs: mustDerive(t, base, db), DB: db}
+	dupReq := Request{Query: dup, DCs: mustDerive(t, dup, db), DB: db}
+	want, err := query.Evaluate(base, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r1 := e.Serve(context.Background(), baseReq)
+	if r1.Err != nil {
+		t.Fatal(r1.Err)
+	}
+	r2 := e.Serve(context.Background(), dupReq)
+	if r2.Err != nil {
+		t.Fatal(r2.Err)
+	}
+	if r2.Fingerprint == r1.Fingerprint {
+		t.Fatal("duplicated-atom variant shares the canonical fingerprint; the alias path is vacuous")
+	}
+	if !r2.Output.Equal(want) {
+		t.Fatal("duplicated-atom variant output differs from reference")
+	}
+	m := e.Metrics()
+	if m.Compiles != 2 {
+		t.Fatalf("expected 2 compiles (base + discovery), got %d", m.Compiles)
+	}
+	if m.SemanticAliases != 1 {
+		t.Fatalf("expected 1 semantic alias established, got %d", m.SemanticAliases)
+	}
+	if m.CachedPlans != 1 {
+		t.Fatalf("aliased plan was cached separately: %d entries, want 1", m.CachedPlans)
+	}
+	if al, ok := st.ResolveAlias(r2.Fingerprint); !ok {
+		t.Fatal("alias not persisted to the store")
+	} else if al.Target != r1.Fingerprint.String() {
+		t.Fatalf("persisted alias targets %s, want %s", al.Target[:8], r1.Fingerprint.Short())
+	}
+
+	// Re-serving the variant now redirects onto the base plan: a cache
+	// hit, no compile, answers intact.
+	r3 := e.Serve(context.Background(), dupReq)
+	if r3.Err != nil {
+		t.Fatal(r3.Err)
+	}
+	if !r3.Aliased || !r3.CacheHit {
+		t.Fatalf("re-served variant: aliased=%v hit=%v, want both", r3.Aliased, r3.CacheHit)
+	}
+	if !r3.Output.Equal(want) {
+		t.Fatal("aliased serve output differs from reference")
+	}
+	m = e.Metrics()
+	if m.Compiles != 2 {
+		t.Fatalf("aliased serve recompiled: %d compiles, want 2", m.Compiles)
+	}
+	if m.SemanticAliasHits != 1 {
+		t.Fatalf("expected 1 alias hit, got %d", m.SemanticAliasHits)
+	}
+	// Only the base plan reached disk; the variant rides the alias.
+	if !st.HasPlan(r1.Fingerprint) || st.HasPlan(r2.Fingerprint) {
+		t.Fatalf("store plans: base=%v variant=%v, want true/false",
+			st.HasPlan(r1.Fingerprint), st.HasPlan(r2.Fingerprint))
+	}
+	e.Close()
+
+	// Restart against the warm store: the alias is re-verified against
+	// the target's recomputed digest and the variant serves compile-free.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(Config{SemanticCSE: true, Store: st2, WarmStart: true})
+	defer e2.Close()
+	r4 := e2.Serve(context.Background(), dupReq)
+	if r4.Err != nil {
+		t.Fatal(r4.Err)
+	}
+	if !r4.Aliased || !r4.CacheHit {
+		t.Fatalf("warm-start variant serve: aliased=%v hit=%v, want both", r4.Aliased, r4.CacheHit)
+	}
+	if !r4.Output.Equal(want) {
+		t.Fatal("warm-start aliased output differs from reference")
+	}
+	if m := e2.Metrics(); m.Compiles != 0 {
+		t.Fatalf("warm-start variant serve compiled %d times, want 0", m.Compiles)
+	}
+}

@@ -55,6 +55,16 @@ type Report struct {
 	WordGatesBefore, WordGatesAfter int
 	WordDepthBefore, WordDepthAfter int
 	Elapsed                         time.Duration
+
+	// Semantic-CSE fields, populated only when the BoolSem pass ran
+	// (CompileOptions.SemanticCSE): adopted merges beyond structural
+	// hashing, how many of those the exact prover confirmed, the
+	// residual probability that any unproven merge is wrong (0 in the
+	// default proven-only mode), and the signature vector count.
+	SemMerges         int
+	SemProven         int
+	SemFalseMergeProb float64
+	SemSignatureK     int
 }
 
 // WordReduction returns the fractional word-gate reduction in [0, 1].

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"circuitql/internal/query"
 )
 
 // TestStorePutGetReopen: artifacts persist across Open calls, writes
@@ -172,5 +174,81 @@ func TestStoreVerify(t *testing.T) {
 	}
 	if bad != 1 {
 		t.Fatalf("Verify found %d corrupt artifacts, want 1", bad)
+	}
+}
+
+// TestStoreAliases: aliases round-trip through the manifest, survive
+// reopen, are dropped when their target plan disappears, and never
+// outlive a target the directory lost.
+func TestStoreAliases(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	canon, compiled, _ := compileCatalog(t, "path3")
+	if err := s.PutPlan(FromCompiled(canon, compiled)); err != nil {
+		t.Fatal(err)
+	}
+
+	src := query.Fingerprint{0xde, 0xad, 0xbe, 0xef}
+	al := Alias{
+		Target: canon.FP.String(),
+		Digest: "0123456789abcdef",
+		Rename: map[string]string{"A": "X"},
+	}
+	// Aliasing to an unstored target is refused outright.
+	if err := s.PutAlias(src, Alias{Target: query.Fingerprint{1}.String()}); err == nil {
+		t.Fatal("PutAlias accepted a target with no stored plan")
+	}
+	if err := s.PutAlias(src, al); err != nil {
+		t.Fatalf("PutAlias: %v", err)
+	}
+	got, ok := s.ResolveAlias(src)
+	if !ok || got.Target != al.Target || got.Digest != al.Digest || got.Rename["A"] != "X" {
+		t.Fatalf("ResolveAlias = %+v, %v", got, ok)
+	}
+
+	// Reopen: the alias survives via the manifest.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if got, ok := s2.ResolveAlias(src); !ok || got.Target != al.Target {
+		t.Fatalf("alias lost on reopen: %+v, %v", got, ok)
+	}
+	if all := s2.Aliases(); len(all) != 1 {
+		t.Fatalf("Aliases() returned %d entries, want 1", len(all))
+	}
+
+	// DropAlias removes it durably.
+	if err := s2.DropAlias(src); err != nil {
+		t.Fatalf("DropAlias: %v", err)
+	}
+	if _, ok := s2.ResolveAlias(src); ok {
+		t.Fatal("alias resolvable after DropAlias")
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after drop: %v", err)
+	}
+	if _, ok := s3.ResolveAlias(src); ok {
+		t.Fatal("dropped alias resurrected by reopen")
+	}
+
+	// An alias whose target plan file vanished is an orphan: Open
+	// discards it instead of serving a dangling pointer.
+	if err := s3.PutAlias(src, al); err != nil {
+		t.Fatalf("re-PutAlias: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, canon.FP.String()+planExt)); err != nil {
+		t.Fatal(err)
+	}
+	s4, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after target loss: %v", err)
+	}
+	if _, ok := s4.ResolveAlias(src); ok {
+		t.Fatal("orphaned alias survived Open without its target plan")
 	}
 }

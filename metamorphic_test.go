@@ -1,0 +1,168 @@
+// Metamorphic differential tier: equivalence-preserving rewrites of a
+// query — atom reordering, variable renaming, atom duplication — must
+// change neither its answers on any database nor its semantic plan
+// digest (core.SemanticDigest). The first two rewrites also preserve
+// the canonical fingerprint (canonicalization merges α-variants);
+// duplication does not, which is exactly the gap the semantic digest
+// closes, so the harness asserts the fingerprints diverge there — a
+// canonicalizer that started deduplicating atoms would make the
+// digest's aliasing test vacuous, and this tier would say so.
+package circuitql
+
+import (
+	"context"
+	"testing"
+
+	"circuitql/internal/core"
+	"circuitql/internal/query"
+	"circuitql/internal/testutil"
+)
+
+// metaN is the per-relation cardinality bound for metamorphic compiles.
+// Small on purpose: every variant is its own semantic-CSE compile.
+const metaN = 3
+
+// metamorphicCases: per query family, the base shape plus hardcoded
+// equivalence-preserving rewrites. kind "alpha" variants must share the
+// base's canonical fingerprint; "dup" variants must not.
+var metamorphicCases = []struct {
+	name     string
+	base     string
+	variants []struct{ kind, src string }
+}{
+	{
+		name: "path2",
+		base: "Q(A,B,C) :- R(A,B), S(B,C)",
+		variants: []struct{ kind, src string }{
+			{"alpha", "Q(A,B,C) :- S(B,C), R(A,B)"},
+			{"alpha", "Q(X,Y,Z) :- R(X,Y), S(Y,Z)"},
+			{"dup", "Q(A,B,C) :- R(A,B), R(A,B), S(B,C)"},
+		},
+	},
+	{
+		name: "path3",
+		base: "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D)",
+		variants: []struct{ kind, src string }{
+			{"alpha", "Q(A,B,C,D) :- T(C,D), R(A,B), S(B,C)"},
+			{"alpha", "Q(W,X,Y,Z) :- R(W,X), S(X,Y), T(Y,Z)"},
+			{"dup", "Q(A,B,C,D) :- R(A,B), S(B,C), S(B,C), T(C,D)"},
+		},
+	},
+	{
+		name: "triangle",
+		base: "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)",
+		variants: []struct{ kind, src string }{
+			{"alpha", "Q(A,B,C) :- T(A,C), S(B,C), R(A,B)"},
+			{"alpha", "Q(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z)"},
+			{"dup", "Q(A,B,C) :- R(A,B), S(B,C), T(A,C), R(A,B)"},
+		},
+	},
+	{
+		name: "cycle4",
+		base: "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A)",
+		variants: []struct{ kind, src string }{
+			{"alpha", "Q(A,B,C,D) :- U(D,A), T(C,D), S(B,C), R(A,B)"},
+			{"alpha", "Q(W,X,Y,Z) :- R(W,X), S(X,Y), T(Y,Z), U(Z,W)"},
+			{"dup", "Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A), T(C,D)"},
+		},
+	},
+}
+
+// metaCompile canonicalizes and compiles one shape through the
+// semantic-CSE pipeline, returning the compile, its canonical pair, and
+// its semantic digest.
+func metaCompile(t *testing.T, src string) (*core.Compiled, *query.Canonical, core.SemDigest) {
+	t.Helper()
+	q := query.MustParse(src)
+	canon, err := query.Canonicalize(q, UniformCardinalities(q, metaN))
+	if err != nil {
+		t.Fatalf("canonicalize %q: %v", src, err)
+	}
+	cq, err := core.CompileQueryOptsCtx(context.Background(), canon.Query, canon.DCs,
+		core.CompileOptions{SemanticCSE: true})
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	dig, err := core.SemanticDigest(cq)
+	if err != nil {
+		t.Fatalf("digest %q: %v", src, err)
+	}
+	return cq, canon, dig
+}
+
+// metaRows evaluates a compiled canonical plan on db and renames its
+// output columns to the base query's variable names — variable ids
+// correspond positionally across every variant of one family (the
+// parser numbers by first appearance), so the row sets compare
+// directly against the base reference even for renamed variants.
+func metaRows(t *testing.T, cq *core.Compiled, canon *query.Canonical, src string, baseQ *query.Query, db Database) []string {
+	t.Helper()
+	out, err := cq.EvaluateOblivious(db)
+	if err != nil {
+		t.Fatalf("evaluate %q: %v", src, err)
+	}
+	m := make(map[string]string, baseQ.Free.Len())
+	proj := make([]string, 0, baseQ.Free.Len())
+	for _, v := range baseQ.Free.Vars() {
+		m[canon.Query.VarNames[canon.VarMap[v]]] = baseQ.VarNames[v]
+		proj = append(proj, baseQ.VarNames[v])
+	}
+	return testutil.Rows(out.Rename(m).Project(proj...))
+}
+
+func TestMetamorphicEquivalence(t *testing.T) {
+	for _, tc := range metamorphicCases {
+		t.Run(tc.name, func(t *testing.T) {
+			baseCQ, baseCanon, baseDig := metaCompile(t, tc.base)
+			if !baseDig.Valid() {
+				t.Fatalf("base %q has no semantic digest", tc.base)
+			}
+			if rep := baseCQ.Opt; rep == nil || rep.SemSignatureK == 0 {
+				t.Fatalf("base %q did not run the semantic pipeline: %+v", tc.base, baseCQ.Opt)
+			}
+
+			baseQ := query.MustParse(tc.base)
+			type variant struct {
+				kind, src string
+				cq        *core.Compiled
+				canon     *query.Canonical
+			}
+			variants := make([]variant, 0, len(tc.variants))
+			for _, v := range tc.variants {
+				cq, canon, dig := metaCompile(t, v.src)
+				if dig.Hex != baseDig.Hex {
+					t.Errorf("%s variant %q: digest diverges from base", v.kind, v.src)
+				}
+				switch v.kind {
+				case "alpha":
+					if canon.FP != baseCanon.FP {
+						t.Errorf("alpha variant %q does not share the canonical fingerprint", v.src)
+					}
+				case "dup":
+					if canon.FP == baseCanon.FP {
+						t.Errorf("dup variant %q shares the canonical fingerprint; the digest test is vacuous", v.src)
+					}
+				}
+				variants = append(variants, variant{v.kind, v.src, cq, canon})
+			}
+
+			for seed := int64(1); seed <= diffSeeds; seed++ {
+				db := testutil.RandomDB(baseQ, seed, metaN)
+				want, err := EvaluateRAM(baseQ, db)
+				if err != nil {
+					t.Fatalf("seed %d: RAM: %v", seed, err)
+				}
+				wantRows := testutil.Rows(want)
+				if d := testutil.DiffRows(wantRows, metaRows(t, baseCQ, baseCanon, tc.base, baseQ, db), "RAM", "base"); d != "" {
+					t.Errorf("seed %d: base circuit diverges from RAM: %s", seed, d)
+				}
+				for _, v := range variants {
+					got := metaRows(t, v.cq, v.canon, v.src, baseQ, db)
+					if d := testutil.DiffRows(wantRows, got, "RAM(base)", v.kind+" variant"); d != "" {
+						t.Errorf("seed %d: %s variant %q diverges: %s", seed, v.kind, v.src, d)
+					}
+				}
+			}
+		})
+	}
+}

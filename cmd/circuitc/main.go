@@ -175,8 +175,8 @@ func main() {
 			log.Fatal(err)
 		}
 		rep := compiled.Opt
-		fmt.Printf("semantic CSE:     %d merges (%d prover-confirmed), K=%d signatures, residual false-merge probability %g\n",
-			rep.SemMerges, rep.SemProven, rep.SemSignatureK, rep.SemFalseMergeProb)
+		fmt.Printf("semantic CSE:     %d merges (%d prover-confirmed, %d unproven), K=%d signatures\n",
+			rep.SemMerges, rep.SemProven, rep.SemUnproven, rep.SemSignatureK)
 		dig, err := core.SemanticDigest(compiled)
 		if err != nil {
 			log.Fatal(err)

@@ -340,7 +340,7 @@ func CompileQueryOptsCtx(ctx context.Context, q *query.Query, dcs query.DCSet, o
 			var sem opt.SemStats
 			optimized, sem = opt.BoolSem(obl.C, opt.SemConfig{})
 			report.SemMerges, report.SemProven = sem.Merges, sem.Proven
-			report.SemFalseMergeProb, report.SemSignatureK = sem.FalseMergeProb, sem.K
+			report.SemUnproven, report.SemSignatureK = sem.Unproven, sem.K
 			osp.AddInt(obs.CounterSemMerges, int64(sem.Merges))
 		} else {
 			optimized = opt.Bool(obl.C)

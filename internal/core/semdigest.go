@@ -13,7 +13,20 @@ import (
 
 // SemDigestVectors is how many seeded random databases a semantic
 // digest evaluates, on top of the always-included empty database.
-const SemDigestVectors = 3
+const SemDigestVectors = 6
+
+// semDomains holds the shared value-domain size of each nonempty test
+// database: every value in vector vec is drawn from [1, semDomains[vec-1]]
+// regardless of relation or column. A small shared domain is what makes
+// the vectors exercise join structure — columns of different relations
+// overlap by construction, so *which* columns a plan joins changes
+// which tuples survive, and two plans that wire the same relations
+// through different join columns produce different answers on some
+// vector. The sizes mix both regimes: domain 2 saturates every join
+// (each column carries the whole domain), larger domains make each
+// column a proper subset whose identity varies per (relation, column,
+// vector).
+var semDomains = [SemDigestVectors]int64{2, 3, 3, 4, 5, 7}
 
 // semDigestSeed salts every value the digest's test databases contain,
 // so the vectors are fixed across processes and releases. Changing it
@@ -26,9 +39,10 @@ const semDigestSeed = 0x5161d16e575eed01
 // its input contract and a name-independent ordering of its output
 // columns. Two plans with equal digests computed the same answers, in
 // the same column roles, on every vector — which is how the serving
-// engine detects that differently-shaped queries (e.g. a query and its
-// duplicated-atom variant, which canonicalize to different
-// fingerprints) denote one plan and can share one cache entry.
+// engine finds candidates for plan sharing: differently-shaped queries
+// (e.g. a query and its duplicated-atom variant, which canonicalize to
+// different fingerprints) that may denote one plan. Candidates are
+// confirmed with an exact equivalence check before any sharing.
 //
 // The zero value (Hex == "") means "no digest": the plan's output
 // columns could not be ordered unambiguously, or its inputs were not
@@ -70,10 +84,18 @@ type semInputContract struct {
 // column keys, and every answer as a sorted row set over the
 // key-ordered columns.
 //
-// The test databases have at most two tuples per relation with all
-// values distinct within each column, so every nontrivial degree is 1
-// and they conform to any realistic degree-constraint set the plan
-// could have been compiled under.
+// The test databases have at most two tuples per relation, drawn from
+// a small domain shared by every relation and column (semDomains) so
+// join columns overlap by construction and the vectors separate plans
+// that join the same relations through different columns. Values stay
+// distinct within each column, so every nontrivial degree is 1 and the
+// data conforms to any realistic degree-constraint set the plan could
+// have been compiled under.
+//
+// Digest equality is still evidence on finitely many vectors, not a
+// proof of equivalence — which is why the engine's alias establishment
+// additionally requires an exact homomorphism-equivalence check
+// (query.Equivalent) before two digest-equal shapes share a plan.
 func SemanticDigest(cq *Compiled) (SemDigest, error) {
 	q := cq.Query
 
@@ -87,7 +109,7 @@ func SemanticDigest(cq *Compiled) (SemDigest, error) {
 	}
 
 	h := sha256.New()
-	fmt.Fprintf(h, "cqsem1;k%d;", SemDigestVectors)
+	fmt.Fprintf(h, "cqsem2;k%d;", SemDigestVectors)
 	names := make([]string, 0, len(contract))
 	for name := range contract {
 		names = append(names, name)
@@ -244,9 +266,12 @@ func semContract(q *query.Query, obl *ObliviousCircuit) (map[string]semInputCont
 
 // semTestRelation builds the digest's test relation for one base
 // relation: vector 0 is empty; later vectors hold min(2, capacity)
-// tuples whose values are a pure function of (relation name, column,
-// row, vector), distinct within each column so every degree on a
-// nonempty attribute set is 1.
+// tuples over the vector's small shared domain. Each column carries
+// consecutive values (mod the domain) from a base offset that is a
+// pure function of (relation name, column, vector), so within a column
+// the rows are distinct — every degree on a nonempty attribute set is
+// 1 — while columns of different relations overlap freely, which is
+// what lets the vectors distinguish plans by their join structure.
 func semTestRelation(name string, c semInputContract, vec int) *relation.Relation {
 	attrs := make([]string, c.arity)
 	for i := range attrs {
@@ -260,20 +285,18 @@ func semTestRelation(name string, c semInputContract, vec int) *relation.Relatio
 	if c.capacity < rows {
 		rows = c.capacity
 	}
-	state := uint64(semDigestSeed) ^ uint64(vec)*0x9e3779b97f4a7c15
-	for _, ch := range name {
-		state = (state ^ uint64(ch)) * 0x100000001b3
-	}
+	dom := semDomains[vec-1]
 	tuple := make([]int64, c.arity)
-	prev := make([]int64, c.arity)
 	for row := 0; row < rows; row++ {
 		for col := range tuple {
-			state = state*6364136223846793005 + 1442695040888963407
-			v := int64(state>>33)%1_000_003 + 1
-			if row > 0 && v == prev[col] {
-				v++
+			state := uint64(semDigestSeed) ^ uint64(vec)*0x9e3779b97f4a7c15 ^
+				uint64(col)*0xff51afd7ed558ccd
+			for _, ch := range name {
+				state = (state ^ uint64(ch)) * 0x100000001b3
 			}
-			tuple[col], prev[col] = v, v
+			state = state*6364136223846793005 + 1442695040888963407
+			base := int64((state >> 33) % uint64(dom))
+			tuple[col] = 1 + (base+int64(row))%dom
 		}
 		r.Insert(tuple...)
 	}

@@ -82,6 +82,31 @@ func TestSemanticDigestEquivalence(t *testing.T) {
 	}
 }
 
+// TestSemanticDigestJoinStructure pins the digest against join-blind
+// test vectors: these two queries read the same relations, project the
+// same column, and differ only in WHICH column of S the join runs
+// through. Vectors whose values never overlap across relations leave
+// every join empty and cannot tell them apart; the shared-domain
+// construction must.
+func TestSemanticDigestJoinStructure(t *testing.T) {
+	a, _ := semCompile(t, "Q(A) :- R(A,B), S(B,C)", 3)
+	b, _ := semCompile(t, "Q(A) :- R(A,B), S(C,B)", 3)
+	da, err := core.SemanticDigest(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.SemanticDigest(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !da.Valid() || !db.Valid() {
+		t.Fatalf("join-column variants lost their digests: %q / %q", da.Hex, db.Hex)
+	}
+	if da.Hex == db.Hex {
+		t.Fatalf("inequivalent join structures share digest %s — test vectors are join-blind", da.Hex[:16])
+	}
+}
+
 // TestSemanticDigestDeterminism: two compiles of the same pair must
 // digest identically (the engine compares digests across processes).
 func TestSemanticDigestDeterminism(t *testing.T) {

@@ -25,9 +25,13 @@ import (
 //
 // Aliasing is conservative by construction: digests bind the DC
 // contract and the output-column correspondence, a plan without an
-// unambiguous digest is never aliased, and an alias only redirects
-// which canonical pair is compiled — the answer for an aliased request
-// is still computed by a circuit proven equal on the digest vectors
+// unambiguous digest is never aliased, and digest agreement alone is
+// never enough — it is evidence on finitely many vectors, so alias
+// establishment additionally requires an exact homomorphism-
+// equivalence proof (query.Equivalent) between the two canonical
+// queries under the digest's column correspondence. An alias only
+// redirects which canonical pair is compiled; the answer for an
+// aliased request is still computed by a provably equivalent circuit
 // and renamed back through the request's own canonical map.
 type semRegistry struct {
 	mu sync.Mutex
@@ -92,16 +96,25 @@ func (e *shard) semObserve(canon *query.Canonical, ent *entry) bool {
 		return false
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	rep, ok := r.reps[dig.Hex]
 	if ok && rep.fp != canon.FP {
-		// Another shape owns this digest. Alias to it while its plan is
-		// still reachable (cached live, or persisted); otherwise adopt
-		// the digest — aliasing to a plan nobody can load would turn
-		// every hit into a recompile of a shape nobody asked for.
+		// Another shape owns this digest. Alias to it only while its
+		// plan is still reachable (cached live, or persisted) — aliasing
+		// to a plan nobody can load would turn every hit into a recompile
+		// of a shape nobody asked for — and only when the exact
+		// equivalence gate proves the two queries denote one function:
+		// digest agreement is a candidate filter, not a proof, and a
+		// colliding-but-inequivalent pair must never share a plan.
 		reachable := (e.peekLive != nil && e.peekLive(rep.fp) != nil) ||
 			(e.cfg.Store != nil && e.cfg.Store.HasPlan(rep.fp))
-		if reachable && len(rep.cols) == len(dig.Cols) {
+		if !reachable {
+			// Owner is gone: adopt the digest for this shape.
+			r.reps[dig.Hex] = semRep{fp: canon.FP, canon: canon, cols: dig.Cols}
+			r.mu.Unlock()
+			return false
+		}
+		if len(rep.cols) == len(dig.Cols) &&
+			semEquivalent(canon.Query, dig.Cols, rep.canon.Query, rep.cols) {
 			rename := make(map[string]string, len(rep.cols))
 			for i, c := range rep.cols {
 				if c != dig.Cols[i] {
@@ -109,8 +122,12 @@ func (e *shard) semObserve(canon *query.Canonical, ent *entry) bool {
 				}
 			}
 			r.aliases[canon.FP] = semAlias{target: rep.fp, canon: rep.canon, rename: rename}
+			r.mu.Unlock()
 			r.established.Add(1)
 			if st := e.cfg.Store; st != nil {
+				// Persisted after releasing the registry mutex: PutAlias
+				// rewrites the manifest synchronously, and alias resolution
+				// on every Submit must not queue behind that disk write.
 				//nolint:errcheck // a failed write only loses re-discovery
 				st.PutAlias(canon.FP, store.Alias{
 					Target: rep.fp.String(), Digest: dig.Hex, Rename: rename,
@@ -118,9 +135,34 @@ func (e *shard) semObserve(canon *query.Canonical, ent *entry) bool {
 			}
 			return true
 		}
+		// Digest collision between shapes the exact gate could not prove
+		// equivalent: keep the first owner, serve this shape under its
+		// own fingerprint.
+		r.mu.Unlock()
+		return false
 	}
 	r.reps[dig.Hex] = semRep{fp: canon.FP, canon: canon, cols: dig.Cols}
+	r.mu.Unlock()
 	return false
+}
+
+// semEquivalent is the exact gate behind alias establishment: the two
+// digests' column orders give the free-variable correspondence (column
+// i of the source lines up with column i of the target), and
+// query.Equivalent proves CQ equivalence under it by homomorphisms in
+// both directions. The DC contracts need no separate check here — the
+// digest hashes them, so digest-equal plans already promised identical
+// conformance contracts.
+func semEquivalent(srcQ *query.Query, srcCols []string, tgtQ *query.Query, tgtCols []string) bool {
+	pairs := make([][2]int, len(srcCols))
+	for i := range srcCols {
+		sv, tv := srcQ.VarIndex(srcCols[i]), tgtQ.VarIndex(tgtCols[i])
+		if sv < 0 || tv < 0 {
+			return false
+		}
+		pairs[i] = [2]int{sv, tv}
+	}
+	return query.Equivalent(srcQ, tgtQ, pairs)
 }
 
 // peekLive returns the live cached entry (compiled, non-negative) for a
@@ -140,7 +182,10 @@ func (e *Engine) peekLive(fp query.Fingerprint) *entry {
 // warmAliases re-verifies the persisted aliases after a warm start:
 // each alias whose target plan warm-loaded has its digest recomputed,
 // and on a match both the digest ownership and the alias are installed
-// in the registry — so a restarted engine serves aliased shapes
+// in the registry. Every persisted alias passed the exact equivalence
+// gate when it was established, so matching the stored digest against
+// the recomputed one — which pins the target artifact's identity and
+// the digest construction version — is sufficient here — so a restarted engine serves aliased shapes
 // compile-free, exactly like their targets. A digest mismatch (the
 // digest construction changed, or the artifact belongs to an older
 // contract) drops the alias durably: stale redirects must not survive.

@@ -70,6 +70,39 @@ func TestEngineSemanticSharedEntry(t *testing.T) {
 	}
 }
 
+// TestEngineSemanticInequivalentNoAlias: two queries over the same
+// relations that join through different columns of S are NOT
+// equivalent and must never share a plan — neither the digest vectors
+// nor the exact homomorphism gate may let them alias, and each must
+// keep serving its own correct answers.
+func TestEngineSemanticInequivalentNoAlias(t *testing.T) {
+	e := New(Config{SemanticCSE: true})
+	defer e.Close()
+
+	q1 := query.MustParse("Q(A) :- R(A,B), S(B,C)")
+	q2 := query.MustParse("Q(A) :- R(A,B), S(C,B)")
+	db := workload.ForQuery(q1, 5, 8)
+	for _, q := range []*query.Query{q1, q2} {
+		want, err := query.Evaluate(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := e.Serve(context.Background(), Request{Query: q, DCs: mustDerive(t, q, db), DB: db})
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.Aliased {
+			t.Fatalf("%s served through an alias of an inequivalent query", q)
+		}
+		if !r.Output.Equal(want) {
+			t.Fatalf("%s output differs from reference", q)
+		}
+	}
+	if m := e.Metrics(); m.SemanticAliases != 0 {
+		t.Fatalf("inequivalent queries established %d aliases, want 0", m.SemanticAliases)
+	}
+}
+
 // TestEngineSemanticAliasLifecycle walks a semantic alias through its
 // whole life: a duplicated-atom variant (different canonical
 // fingerprint, same function) compiles once, is detected as equivalent,

@@ -58,13 +58,15 @@ type Report struct {
 
 	// Semantic-CSE fields, populated only when the BoolSem pass ran
 	// (CompileOptions.SemanticCSE): adopted merges beyond structural
-	// hashing, how many of those the exact prover confirmed, the
-	// residual probability that any unproven merge is wrong (0 in the
-	// default proven-only mode), and the signature vector count.
-	SemMerges         int
-	SemProven         int
-	SemFalseMergeProb float64
-	SemSignatureK     int
+	// hashing, how many of those the exact prover confirmed, how many
+	// were adopted on signature agreement alone (0 in the default
+	// proven-only mode — a nonzero count means the run traded soundness
+	// for size and carries no probabilistic guarantee), and the
+	// signature vector count.
+	SemMerges     int
+	SemProven     int
+	SemUnproven   int
+	SemSignatureK int
 }
 
 // WordReduction returns the fractional word-gate reduction in [0, 1].

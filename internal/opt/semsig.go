@@ -1,8 +1,6 @@
 package opt
 
 import (
-	"math"
-
 	"circuitql/internal/boolcircuit"
 )
 
@@ -20,10 +18,13 @@ import (
 // Signatures alone are not a proof: distinct rarely-true predicates
 // (two unrelated Eq gates, say) share the all-zero signature on most
 // vectors. By default a candidate pair is merged only when a bounded
-// exact prover confirms equivalence, so the rewrite is sound and the
-// reported residual false-merge probability is zero. SemConfig.Unproven
-// opts into signature-only merging (with ConfirmK extra vectors) and
-// carries the residual probability in the stats.
+// exact prover confirms equivalence, so the rewrite is sound.
+// SemConfig.Unproven opts into signature-only merging (ConfirmK extra
+// vectors, non-constant signatures only); such merges are counted in
+// SemStats.Unproven and carry no soundness guarantee — no numeric
+// false-merge probability is reported, because none is defensible: two
+// inequivalent gates that differ on few inputs (adjacent thresholds,
+// say) agree on any fixed vector family with probability near 1.
 
 // SemConfig configures semantic CSE. The zero value selects the
 // defaults: K=4 signature vectors, a fixed seed, proven merges only.
@@ -41,8 +42,12 @@ type SemConfig struct {
 	// signatures) stay cheap.
 	MaxCandidates int
 	// Unproven merges candidate pairs whose signatures agree on
-	// K+ConfirmK vectors even when the prover cannot confirm them. The
-	// residual false-merge probability is reported in SemStats.
+	// K+ConfirmK vectors even when the prover cannot confirm them,
+	// provided the shared signature is non-constant across the vectors
+	// (a constant signature — rarely-true gates all stuck at 0 — is no
+	// evidence at all). This mode is an explicitly heuristic trade of
+	// soundness for size: adopted-but-unproven merges are counted in
+	// SemStats.Unproven with no probabilistic guarantee attached.
 	Unproven bool
 	// ConfirmK is the number of extra confirmation vectors evaluated for
 	// unproven merges (default 8).
@@ -90,12 +95,14 @@ type SemStats struct {
 	Proven int
 	// Candidates counts candidate pairs the prover examined.
 	Candidates int
-	// FalseMergeProb bounds the probability that at least one adopted
-	// merge is wrong: 0 when every merge is proven, otherwise
-	// 1-(1-2^-16)^u for u unproven merges (each unproven merge agreed
-	// on K+ConfirmK vectors; 2^-16 is a deliberately loose per-merge
-	// bound covering highly structured gates over small subdomains).
-	FalseMergeProb float64
+	// Unproven counts adopted merges the exact prover did not confirm
+	// (Merges - Proven; always 0 outside Unproven mode). Each agreed on
+	// K+ConfirmK vectors with a non-constant signature, but that is
+	// evidence, not a bound: inequivalent gates that differ on few
+	// inputs can agree on any fixed vector family with probability near
+	// 1, so no defensible false-merge probability exists and none is
+	// reported. A run is sound exactly when Unproven == 0.
+	Unproven int
 	// K echoes the signature vector count used.
 	K int
 }
@@ -134,9 +141,7 @@ func BoolSem(c *boolcircuit.Circuit, cfg SemConfig) (*boolcircuit.Circuit, SemSt
 	if stats.Merges > 0 {
 		best = Bool(best)
 	}
-	if u := stats.Merges - stats.Proven; u > 0 {
-		stats.FalseMergeProb = 1 - math.Pow(1-math.Pow(2, -16), float64(u))
-	}
+	stats.Unproven = stats.Merges - stats.Proven
 	return best, stats
 }
 
@@ -764,7 +769,7 @@ func semPass(c *boolcircuit.Circuit, cfg SemConfig) (*boolcircuit.Circuit, SemSt
 				st.Proven++
 				break
 			}
-			if cfg.Unproven && sameSig(sctx.sigs[i], sctx.sigs[j], k) {
+			if cfg.Unproven && sameSig(sctx.sigs[i], sctx.sigs[j], k) && !constSig(sctx.sigs[i], k) {
 				m[i] = m[j]
 				merged = true
 				st.Merges++
@@ -796,6 +801,20 @@ func semPass(c *boolcircuit.Circuit, cfg SemConfig) (*boolcircuit.Circuit, SemSt
 func sameSig(a, b []int64, k int) bool {
 	for v := 0; v < k; v++ {
 		if a[v] != b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// constSig reports whether the first k signature entries are all one
+// value. Unproven-mode merging refuses constant signatures: distinct
+// rarely-true gates (Eq against two different large constants, say)
+// sit at an identical constant 0 on nearly every vector, so agreement
+// there carries no evidence of equivalence.
+func constSig(a []int64, k int) bool {
+	for v := 1; v < k; v++ {
+		if a[v] != a[0] {
 			return false
 		}
 	}

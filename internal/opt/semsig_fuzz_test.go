@@ -38,8 +38,8 @@ func FuzzSemSig(f *testing.F) {
 		if st.Proven != st.Merges {
 			t.Fatalf("default config adopted an unproven merge: %+v", st)
 		}
-		if st.FalseMergeProb != 0 {
-			t.Fatalf("default config reported residual false-merge probability %g", st.FalseMergeProb)
+		if st.Unproven != 0 {
+			t.Fatalf("default config reported %d unproven merges, want 0", st.Unproven)
 		}
 
 		seed := int64(len(data))

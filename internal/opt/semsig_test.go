@@ -47,9 +47,9 @@ func TestSemanticCSECatalogRegression(t *testing.T) {
 			t.Errorf("%s: %d merges but only %d proven — default config must be proof-gated",
 				name, rep.SemMerges, rep.SemProven)
 		}
-		if rep.SemFalseMergeProb != 0 {
-			t.Errorf("%s: residual false-merge probability %g, want 0 in proven-only mode",
-				name, rep.SemFalseMergeProb)
+		if rep.SemUnproven != 0 {
+			t.Errorf("%s: %d unproven merges adopted, want 0 in proven-only mode",
+				name, rep.SemUnproven)
 		}
 		if rep.WordGatesAfter > base.Opt.WordGatesAfter {
 			t.Errorf("%s: semantic CSE grew the circuit: %d -> %d gates",

@@ -1,0 +1,101 @@
+package query_test
+
+import (
+	"testing"
+
+	"circuitql/internal/query"
+)
+
+// identityPairs matches free variables by name across two parses —
+// the tests below name correspondents identically (or pass explicit
+// pairs when the correspondence is a rename).
+func identityPairs(t *testing.T, a, b *query.Query) [][2]int {
+	t.Helper()
+	var pairs [][2]int
+	for _, va := range a.Free.Vars() {
+		vb := b.VarIndex(a.VarNames[va])
+		if vb < 0 {
+			t.Fatalf("free variable %s missing from second query", a.VarNames[va])
+		}
+		pairs = append(pairs, [2]int{va, vb})
+	}
+	return pairs
+}
+
+func TestEquivalent(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b string
+		want bool
+	}{
+		{"identical", "Q(A,B) :- R(A,B)", "Q(A,B) :- R(A,B)", true},
+		{"atom_reorder", "Q(A,B,C) :- R(A,B), S(B,C)", "Q(A,B,C) :- S(B,C), R(A,B)", true},
+		{"dup_atom", "Q(A,B,C) :- R(A,B), S(B,C)", "Q(A,B,C) :- R(A,B), R(A,B), S(B,C)", true},
+		// The reviewer counterexample: same relations, same projection,
+		// joined through different columns of S. A homomorphism would
+		// need B ↦ B (via R) and B ↦ C (via S) at once.
+		{"swapped_join_col", "Q(A) :- R(A,B), S(B,C)", "Q(A) :- R(A,B), S(C,B)", false},
+		{"different_relation", "Q(A,B) :- R(A,B)", "Q(A,B) :- S(A,B)", false},
+		{"extra_join_restricts", "Q(A,B) :- R(A,B)", "Q(A,B) :- R(A,B), S(A,B)", false},
+		// A redundant atom subsumed by a hom into the rest is dropped by
+		// minimization, so the queries are equivalent: R(A,C) maps into
+		// R(A,B) with C ↦ B (C is bound).
+		{"redundant_atom", "Q(A,B) :- R(A,B)", "Q(A,B) :- R(A,B), R(A,C)", true},
+		{"self_join_vs_single", "Q(A) :- R(A,A)", "Q(A) :- R(A,B)", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := query.MustParse(tc.a)
+			b := query.MustParse(tc.b)
+			if got := query.Equivalent(a, b, identityPairs(t, a, b)); got != tc.want {
+				t.Errorf("Equivalent(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestEquivalentRename: α-renamed queries are equivalent under the
+// positional correspondence, and NOT under a crossed one — the pairs
+// argument is load-bearing, it is how the engine binds the digest's
+// column order into the proof.
+func TestEquivalentRename(t *testing.T) {
+	a := query.MustParse("Q(A,B) :- R(A,B)")
+	b := query.MustParse("Q(X,Y) :- R(X,Y)")
+	straight := [][2]int{
+		{a.VarIndex("A"), b.VarIndex("X")},
+		{a.VarIndex("B"), b.VarIndex("Y")},
+	}
+	if !query.Equivalent(a, b, straight) {
+		t.Error("α-renamed query not equivalent under the positional correspondence")
+	}
+	crossed := [][2]int{
+		{a.VarIndex("A"), b.VarIndex("Y")},
+		{a.VarIndex("B"), b.VarIndex("X")},
+	}
+	if query.Equivalent(a, b, crossed) {
+		t.Error("crossed correspondence accepted for an asymmetric query")
+	}
+}
+
+// TestEquivalentBadPairs: malformed correspondences are rejected
+// outright rather than defaulting to a guess.
+func TestEquivalentBadPairs(t *testing.T) {
+	a := query.MustParse("Q(A,B) :- R(A,B)")
+	b := query.MustParse("Q(A,B) :- R(A,B)")
+	cases := []struct {
+		name  string
+		pairs [][2]int
+	}{
+		{"too_few", [][2]int{{0, 0}}},
+		{"duplicate_target", [][2]int{{0, 0}, {1, 0}}},
+		{"out_of_range", [][2]int{{0, 0}, {1, 99}}},
+		{"bound_var", [][2]int{{0, 0}, {1, 1}, {0, 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if query.Equivalent(a, b, tc.pairs) {
+				t.Error("malformed correspondence accepted")
+			}
+		})
+	}
+}
